@@ -1,0 +1,248 @@
+package sanft
+
+import (
+	"testing"
+	"time"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation section. Run them with:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// Each benchmark reports the headline quantities of its figure via
+// b.ReportMetric, so the bench output doubles as a summary of the
+// reproduction (EXPERIMENTS.md records a full run).
+
+// benchOpt keeps per-iteration work bounded while preserving shapes.
+func benchOpt() Options {
+	return Options{Sizes: []int{4096, 65536, 1 << 20}, MaxMessages: 2000, Seed: 1}
+}
+
+// BenchmarkFig3LatencyBreakdown regenerates Figure 3 and reports the
+// 4-byte one-way latency with and without fault tolerance (paper: 8µs and
+// 10µs).
+func BenchmarkFig3LatencyBreakdown(b *testing.B) {
+	var r Fig3Result
+	for i := 0; i < b.N; i++ {
+		r = RunFig3(Options{Seed: int64(i + 1)})
+	}
+	b.ReportMetric(float64(r.NoFT.Total().Nanoseconds())/1000, "noFT-µs")
+	b.ReportMetric(float64(r.FT.Total().Nanoseconds())/1000, "FT-µs")
+}
+
+// BenchmarkFig4LatencyAndBandwidth regenerates Figure 4 and reports the
+// FT latency overhead at 64 B (paper: ≤2.1µs) and the FT bandwidth
+// penalty at 1 MB (paper: <4%).
+func BenchmarkFig4LatencyAndBandwidth(b *testing.B) {
+	var r Fig4Result
+	for i := 0; i < b.N; i++ {
+		r = RunFig4(benchOpt())
+	}
+	last := r.Latency[len(r.Latency)-1]
+	b.ReportMetric(float64((last.FT-last.NoFT).Nanoseconds())/1000, "lat-overhead-µs")
+	bw := r.Bandwidth[len(r.Bandwidth)-1]
+	b.ReportMetric(bw.UniNoFT, "uni-noFT-MB/s")
+	b.ReportMetric(bw.UniFT, "uni-FT-MB/s")
+}
+
+// BenchmarkFig5TimerSweep regenerates Figure 5 and reports 64 KB
+// unidirectional bandwidth at the extreme and best timer settings.
+func BenchmarkFig5TimerSweep(b *testing.B) {
+	var r SweepResult
+	for i := 0; i < b.N; i++ {
+		r = RunFig5(Options{Sizes: []int{65536}, Seed: int64(i + 1)})
+	}
+	for _, c := range r.Cells {
+		switch c.Timer {
+		case 10 * time.Microsecond:
+			b.ReportMetric(c.Uni, "uni-10µs-MB/s")
+		case time.Millisecond:
+			b.ReportMetric(c.Uni, "uni-1ms-MB/s")
+		}
+	}
+}
+
+// BenchmarkFig6TimerErrors regenerates Figure 6 and reports the 1ms and
+// 1s timers at error rate 1e-3 (paper: 1ms robust, 1s collapses).
+func BenchmarkFig6TimerErrors(b *testing.B) {
+	var r SweepResult
+	for i := 0; i < b.N; i++ {
+		r = RunFig6(Options{Sizes: []int{65536}, MaxMessages: 2500, Seed: int64(i + 1)})
+	}
+	for _, c := range r.Cells {
+		if c.ErrorRate == 1e-3 {
+			switch c.Timer {
+			case time.Millisecond:
+				b.ReportMetric(c.Uni, "uni-1ms@1e-3-MB/s")
+			case time.Second:
+				b.ReportMetric(c.Uni, "uni-1s@1e-3-MB/s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7QueueSweep regenerates Figure 7 and reports q=2 vs q=32.
+func BenchmarkFig7QueueSweep(b *testing.B) {
+	var r SweepResult
+	for i := 0; i < b.N; i++ {
+		r = RunFig7(Options{Sizes: []int{65536}, Seed: int64(i + 1)})
+	}
+	for _, c := range r.Cells {
+		switch c.Queue {
+		case 2:
+			b.ReportMetric(c.Uni, "uni-q2-MB/s")
+		case 32:
+			b.ReportMetric(c.Uni, "uni-q32-MB/s")
+		}
+	}
+}
+
+// BenchmarkFig8QueueErrors regenerates Figure 8 and reports the q=32 vs
+// q=128 contrast at 1e-2 (paper: q=128 loses >30%).
+func BenchmarkFig8QueueErrors(b *testing.B) {
+	var r SweepResult
+	for i := 0; i < b.N; i++ {
+		r = RunFig8(Options{Sizes: []int{65536}, MaxMessages: 2500, Seed: int64(i + 1)})
+	}
+	for _, c := range r.Cells {
+		if c.ErrorRate == 1e-2 {
+			switch c.Queue {
+			case 32:
+				b.ReportMetric(c.Uni, "uni-q32@1e-2-MB/s")
+			case 128:
+				b.ReportMetric(c.Uni, "uni-q128@1e-2-MB/s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9Apps regenerates Figure 9 (scaled problem sizes, the full
+// app × rate × config grid) and reports total execution times at the
+// extremes.
+func BenchmarkFig9Apps(b *testing.B) {
+	var cells []Fig9Cell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = RunFig9(nil, nil, nil, ScaledFig9, Options{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range cells {
+		if c.Queue == 32 && c.Timer == time.Millisecond {
+			switch {
+			case c.ErrorRate == 0:
+				b.ReportMetric(c.Elapsed.Seconds()*1000, c.App+"-clean-ms")
+			case c.ErrorRate == 1e-3:
+				b.ReportMetric(c.Elapsed.Seconds()*1000, c.App+"-1e-3-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkTable3Mapping regenerates Table 3 and reports the probe count
+// and mapping time for the 4-hop target.
+func BenchmarkTable3Mapping(b *testing.B) {
+	var rows []Table3Row
+	for i := 0; i < b.N; i++ {
+		rows = RunTable3(Options{Seed: int64(i + 1)})
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.Total), "probes-4hop")
+	b.ReportMetric(last.MapTime.Seconds()*1000, "maptime-4hop-ms")
+	b.ReportMetric(float64(rows[0].Total), "probes-1hop")
+	b.ReportMetric(rows[0].MapTime.Seconds()*1000, "maptime-1hop-ms")
+}
+
+// BenchmarkAblationMapping compares on-demand against full-map discovery.
+func BenchmarkAblationMapping(b *testing.B) {
+	var rows []MappingAblationRow
+	for i := 0; i < b.N; i++ {
+		rows = RunMappingAblation(Options{Seed: int64(i + 1)})
+	}
+	b.ReportMetric(float64(rows[0].OnDemandProbes), "ondemand-1hop-probes")
+	b.ReportMetric(float64(rows[0].FullProbes), "fullmap-probes")
+}
+
+// BenchmarkAblationAcks compares piggybacked against always-explicit
+// acknowledgments.
+func BenchmarkAblationAcks(b *testing.B) {
+	var r AckAblationResult
+	for i := 0; i < b.N; i++ {
+		r = RunAckAblation(4096, Options{MaxMessages: 800, Seed: int64(i + 1)})
+	}
+	b.ReportMetric(r.WithPiggyback, "piggyback-MB/s")
+	b.ReportMetric(r.WithoutPiggyback, "explicit-MB/s")
+	b.ReportMetric(float64(r.PiggybackedAcks), "piggybacked-acks")
+}
+
+// BenchmarkAblationFeedback compares adaptive sender-based feedback with
+// a fixed ack period.
+func BenchmarkAblationFeedback(b *testing.B) {
+	var rows []FeedbackAblationRow
+	for i := 0; i < b.N; i++ {
+		rows = RunFeedbackAblation(65536, []int{128}, []float64{0, 1e-2}, Options{MaxMessages: 1500, Seed: int64(i + 1)})
+	}
+	for _, r := range rows {
+		if r.ErrorRate == 1e-2 {
+			b.ReportMetric(r.Adaptive, "adaptive@1e-2-MB/s")
+			b.ReportMetric(r.Fixed, "fixed32@1e-2-MB/s")
+		}
+	}
+}
+
+// BenchmarkRawSimulatorThroughput measures the simulator's own speed:
+// simulated packets per wall second for a saturating 4 KB stream. Not a
+// paper figure — an engineering health metric.
+func BenchmarkRawSimulatorThroughput(b *testing.B) {
+	msgs := 0
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		c := twoNode(true, 32, time.Millisecond, 0, int64(i+1))
+		r := UnidirectionalBandwidth(c, 4096, 2000)
+		msgs += r.Messages
+	}
+	wall := time.Since(start).Seconds()
+	if wall > 0 {
+		b.ReportMetric(float64(msgs)/wall, "sim-pkts/s")
+	}
+}
+
+// BenchmarkExtensionBurstErrors compares uniform and bursty loss at equal
+// long-run rate (extension of §5.1.3).
+func BenchmarkExtensionBurstErrors(b *testing.B) {
+	var rows []BurstErrorRow
+	for i := 0; i < b.N; i++ {
+		rows = RunBurstErrors(65536, []float64{1e-2}, 8, Options{MaxMessages: 1500, Seed: int64(i + 1)})
+	}
+	b.ReportMetric(rows[0].Uniform, "uniform@1e-2-MB/s")
+	b.ReportMetric(rows[0].Bursty, "bursty@1e-2-MB/s")
+}
+
+// BenchmarkExtensionReliabilityLevels compares the three VI reliability
+// levels (extension of the related-work discussion).
+func BenchmarkExtensionReliabilityLevels(b *testing.B) {
+	var rows []ReliabilityLevelRow
+	for i := 0; i < b.N; i++ {
+		rows = RunReliabilityLevels(Options{MaxMessages: 400, Seed: int64(i + 1)})
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Latency4B.Nanoseconds())/1000, r.Level+"-µs")
+	}
+}
+
+// BenchmarkExtensionRouteQuality measures the route-length inflation of
+// deadlock-free UP*/DOWN* routing (extension of §4.2's route-quality
+// remark).
+func BenchmarkExtensionRouteQuality(b *testing.B) {
+	var rows []RouteQualityRow
+	for i := 0; i < b.N; i++ {
+		rows = RunRouteQuality(int64(i + 17))
+	}
+	for _, r := range rows {
+		if r.Topology == "ring6" {
+			b.ReportMetric(r.MeanUpDown/r.MeanShortest, "ring6-stretch")
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command sanapp regenerates Figure 9: execution-time breakdowns of the
+// SPLASH-2 applications (FFT, RadixLocal, WaterNSquared) on a 4-node,
+// 8-processor cluster, grouped by injected error rate, for the four
+// protocol configurations the paper plots (r100µs-q2, r100µs-q32,
+// r1ms-q2, r1ms-q32).
+//
+// Usage:
+//
+//	sanapp                     # all three applications, scaled sizes
+//	sanapp -app fft            # one application
+//	sanapp -paper              # Table 2 problem sizes (very slow)
+//	sanapp -rates 0,1e-3       # restrict the error-rate groups
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sanft"
+)
+
+func main() {
+	app := flag.String("app", "all", "application: fft, radix, water or all")
+	paper := flag.Bool("paper", false, "use the paper's Table 2 problem sizes (slow)")
+	rates := flag.String("rates", "0,1e-4,1e-3,1e-2", "comma-separated error rates (the paper plots 0,1e-4,1e-3; 1e-2 added so scaled runs visibly degrade)")
+	config := flag.String("config", "", "restrict to one protocol configuration, e.g. r1ms-q32 (default: all four Figure 9 bars)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var names []string
+	if *app != "all" {
+		names = []string{*app}
+	}
+	var rateList []float64
+	if *rates != "" {
+		for _, s := range strings.Split(*rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad rate %q: %v\n", s, err)
+				os.Exit(2)
+			}
+			rateList = append(rateList, v)
+		}
+	}
+	var configs []sanft.Fig9Config
+	if *config != "" {
+		spec := strings.TrimPrefix(*config, "r")
+		parts := strings.SplitN(spec, "-q", 2)
+		if len(parts) != 2 {
+			fmt.Fprintf(os.Stderr, "bad -config %q (want e.g. r1ms-q32)\n", *config)
+			os.Exit(2)
+		}
+		d, err1 := time.ParseDuration(parts[0])
+		qq, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			fmt.Fprintf(os.Stderr, "bad -config %q: %v %v\n", *config, err1, err2)
+			os.Exit(2)
+		}
+		configs = []sanft.Fig9Config{{Timer: d, Queue: qq}}
+	}
+	scale := sanft.ScaledFig9
+	if *paper {
+		scale = sanft.PaperFig9
+	}
+
+	start := time.Now()
+	cells, err := sanft.RunFig9(names, rateList, configs, scale, sanft.Options{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(sanft.Fig9String(cells))
+	fmt.Printf("(regenerated in %v wall time)\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,97 @@
+// Command sanbench regenerates the paper's micro-benchmark figures
+// (Figures 3–8) and the protocol ablations as text tables.
+//
+// Usage:
+//
+//	sanbench -fig 3            # latency breakdown (Fig. 3)
+//	sanbench -fig 4            # latency + bandwidth, FT vs no-FT (Fig. 4)
+//	sanbench -fig 5            # timer sweep, no errors (Fig. 5)
+//	sanbench -fig 6            # timer sweep under errors (Fig. 6)
+//	sanbench -fig 7            # queue sweep, no errors (Fig. 7)
+//	sanbench -fig 8            # queue sweep under errors (Fig. 8)
+//	sanbench -fig all          # everything
+//	sanbench -ablations        # piggyback + feedback-policy ablations
+//	sanbench -full             # paper-scale traffic (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sanft"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,7,8 or all")
+	full := flag.Bool("full", false, "paper-scale traffic (≥10 drops even at 1e-4; slow)")
+	ablations := flag.Bool("ablations", false, "run the protocol ablations instead of figures")
+	extensions := flag.Bool("extensions", false, "run the extension experiments (route quality, burst errors, state scaling, VI reliability levels)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	opt := sanft.Options{Seed: *seed}
+	if *full {
+		opt.MaxMessages = 400000
+		opt.Sizes = sanft.PaperSizes
+	}
+
+	if *ablations {
+		runAblations(opt)
+		return
+	}
+	if *extensions {
+		runExtensions(opt)
+		return
+	}
+
+	start := time.Now()
+	switch *fig {
+	case "3":
+		fmt.Println(sanft.RunFig3(opt))
+	case "4":
+		fmt.Println(sanft.RunFig4(opt))
+	case "5":
+		fmt.Println("Figure 5: retransmission-interval sweep, no errors (q=32)")
+		fmt.Println(sanft.RunFig5(opt))
+	case "6":
+		fmt.Println("Figure 6: retransmission-interval sweep under errors (q=32)")
+		fmt.Println(sanft.RunFig6(opt))
+	case "7":
+		fmt.Println("Figure 7: send-queue-size sweep, no errors (T=1ms)")
+		fmt.Println(sanft.RunFig7(opt))
+	case "8":
+		fmt.Println("Figure 8: send-queue-size sweep under errors (T=1ms)")
+		fmt.Println(sanft.RunFig8(opt))
+	case "all":
+		fmt.Println(sanft.RunFig3(opt))
+		fmt.Println(sanft.RunFig4(opt))
+		fmt.Println("Figure 5: retransmission-interval sweep, no errors (q=32)")
+		fmt.Println(sanft.RunFig5(opt))
+		fmt.Println("Figure 6: retransmission-interval sweep under errors (q=32)")
+		fmt.Println(sanft.RunFig6(opt))
+		fmt.Println("Figure 7: send-queue-size sweep, no errors (T=1ms)")
+		fmt.Println(sanft.RunFig7(opt))
+		fmt.Println("Figure 8: send-queue-size sweep under errors (T=1ms)")
+		fmt.Println(sanft.RunFig8(opt))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	fmt.Printf("(regenerated in %v wall time)\n", time.Since(start).Round(time.Millisecond))
+}
+
+func runAblations(opt sanft.Options) {
+	fmt.Println(sanft.RunAckAblation(4096, opt))
+	fmt.Println(sanft.FeedbackAblationString(
+		sanft.RunFeedbackAblation(65536, nil, nil, opt)))
+}
+
+func runExtensions(opt sanft.Options) {
+	fmt.Println(sanft.RouteQualityString(sanft.RunRouteQuality(opt.Seed)))
+	fmt.Println(sanft.BurstErrorString(sanft.RunBurstErrors(65536, nil, 8, opt)))
+	fmt.Println(sanft.StateScalingString(sanft.RunStateScaling(2, nil)))
+	fmt.Println(sanft.ReliabilityLevelsString(sanft.RunReliabilityLevels(opt)))
+	fmt.Println(sanft.ScalabilityString(sanft.RunScalability(nil, 0, 0, opt)))
+}

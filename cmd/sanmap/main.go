@@ -1,0 +1,31 @@
+// Command sanmap regenerates Table 3 (the cost of on-demand dynamic
+// mapping on the Figure 2 testbed) and, with -compare, the on-demand vs
+// full-map ablation.
+//
+// Usage:
+//
+//	sanmap              # Table 3
+//	sanmap -compare     # plus the full-map comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"sanft"
+)
+
+func main() {
+	compare := flag.Bool("compare", false, "also compare against a conventional full network map")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	start := time.Now()
+	opt := sanft.Options{Seed: *seed}
+	fmt.Println(sanft.Table3String(sanft.RunTable3(opt)))
+	if *compare {
+		fmt.Println(sanft.MappingAblationString(sanft.RunMappingAblation(opt)))
+	}
+	fmt.Printf("(regenerated in %v wall time)\n", time.Since(start).Round(time.Millisecond))
+}

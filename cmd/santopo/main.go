@@ -1,0 +1,88 @@
+// Command santopo inspects the simulated topologies: it prints the wiring
+// of the built-in testbeds, the routes a cluster would install, and the
+// effect of what-if failures on reachability.
+//
+// Usage:
+//
+//	santopo -topo fig2                 # print the Figure 2 wiring
+//	santopo -topo star -hosts 8        # single-switch star
+//	santopo -topo fig2 -routes         # all-pairs shortest routes
+//	santopo -topo fig2 -kill-switch 1  # reachability after a switch dies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sanft"
+)
+
+func main() {
+	topo := flag.String("topo", "fig2", "topology: fig2, star, doublestar")
+	hosts := flag.Int("hosts", 8, "host count for star/doublestar")
+	routes := flag.Bool("routes", false, "print all-pairs shortest routes")
+	killSwitch := flag.Int("kill-switch", -1, "index of a switch to fail before analysis")
+	flag.Parse()
+
+	var nw *sanft.Network
+	switch *topo {
+	case "fig2":
+		f := sanft.NewFig2()
+		nw = f.Net
+		fmt.Printf("Figure 2 testbed (mapper=%d, targets=%v)\n", f.Mapper, f.Targets)
+	case "star":
+		nw, _ = sanft.Star(*hosts)
+	case "doublestar":
+		nw, _ = sanft.DoubleStar(*hosts)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+
+	if *killSwitch >= 0 {
+		sws := nw.Switches()
+		if *killSwitch >= len(sws) {
+			fmt.Fprintf(os.Stderr, "no switch %d (have %d)\n", *killSwitch, len(sws))
+			os.Exit(2)
+		}
+		nw.KillSwitch(sws[*killSwitch])
+		fmt.Printf("killed switch %d\n", *killSwitch)
+	}
+
+	fmt.Println(nw.String())
+
+	hs := nw.Hosts()
+	if *routes {
+		fmt.Println("all-pairs shortest routes:")
+		for _, a := range hs {
+			for _, b := range hs {
+				if a == b {
+					continue
+				}
+				r, err := sanft.ShortestRoute(nw, a, b)
+				if err != nil {
+					fmt.Printf("  %d -> %d: UNREACHABLE\n", a, b)
+					continue
+				}
+				fmt.Printf("  %d -> %d: %v\n", a, b, r)
+			}
+		}
+		return
+	}
+
+	// Reachability summary.
+	unreachable := 0
+	for _, a := range hs {
+		for _, b := range hs {
+			if a == b {
+				continue
+			}
+			if _, err := sanft.ShortestRoute(nw, a, b); err != nil {
+				unreachable++
+			}
+		}
+	}
+	total := len(hs) * (len(hs) - 1)
+	fmt.Printf("reachable host pairs: %d/%d\n", total-unreachable, total)
+}

@@ -1,0 +1,51 @@
+// Splash: run a SPLASH-2 kernel (the paper's Figure 9 workloads) on the
+// simulated 4-node, 8-processor cluster and print its execution-time
+// breakdown at two error rates — the per-application view behind
+// Figure 9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sanft"
+)
+
+func main() {
+	app := flag.String("app", "fft", "application: fft, radix or water")
+	flag.Parse()
+
+	for _, rate := range []float64{0, 1e-2} {
+		cluster := sanft.New(sanft.Config{
+			NumHosts:  4,
+			FT:        true,
+			Retrans:   sanft.DefaultParams(),
+			ErrorRate: rate,
+			Seed:      1,
+		})
+		var res sanft.AppResult
+		var err error
+		switch *app {
+		case "fft":
+			res, err = sanft.RunFFT(cluster, sanft.FFTParams{LogN: 12, Iters: 2})
+		case "radix":
+			res, err = sanft.RunRadix(cluster, sanft.RadixParams{Keys: 1 << 15, Iters: 1})
+		case "water":
+			res, err = sanft.RunWater(cluster, sanft.WaterParams{Molecules: 343, Steps: 2})
+		default:
+			fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("error rate %g:\n  %v\n", rate, res)
+		frac := func(n, d int64) float64 { return 100 * float64(n) / float64(d) }
+		tot := int64(res.Max.Total())
+		fmt.Printf("  shares: compute %.0f%%  data %.0f%%  lock %.0f%%  barrier %.0f%%\n\n",
+			frac(int64(res.Max.Compute), tot), frac(int64(res.Max.Data), tot),
+			frac(int64(res.Max.Lock), tot), frac(int64(res.Max.Barrier), tot))
+	}
+}

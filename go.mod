@@ -1,0 +1,3 @@
+module sanft
+
+go 1.22

@@ -1,0 +1,155 @@
+package apps
+
+import (
+	"time"
+
+	"sanft/internal/core"
+	"sanft/internal/svm"
+)
+
+// RadixParams configures the RadixLocal kernel. The paper's size is 4M
+// keys for 5 iterations.
+type RadixParams struct {
+	// Keys is the number of 32-bit keys.
+	Keys int
+	// Iters repeats the full sort (keys are regenerated each time).
+	Iters int
+	// ProcsPerNode defaults to 2.
+	ProcsPerNode int
+	Bound        time.Duration
+	Cost         CostModel
+	// Capture, if set, receives the final sorted keys (worker 0 reads
+	// them back after the last iteration).
+	Capture func([]uint32)
+}
+
+func (p RadixParams) defaults() RadixParams {
+	if p.Keys == 0 {
+		p.Keys = 1 << 16
+	}
+	if p.Iters == 0 {
+		p.Iters = 1
+	}
+	if p.ProcsPerNode == 0 {
+		p.ProcsPerNode = 2
+	}
+	if p.Bound == 0 {
+		p.Bound = 10 * time.Minute
+	}
+	if p.Cost == (CostModel{}) {
+		p.Cost = DefaultCostModel()
+	}
+	return p
+}
+
+// PaperRadixParams returns the Table 2 size: 4M keys, 5 iterations.
+func PaperRadixParams() RadixParams {
+	return RadixParams{Keys: 4 << 20, Iters: 5}.defaults()
+}
+
+const radixBits = 8
+const radixBuckets = 1 << radixBits
+
+// RunRadix executes the parallel LSD radix sort. After each iteration the
+// sorted keys sit in the A array (4 passes of radix-256 over 32-bit keys:
+// even pass count returns to A).
+func RunRadix(c *core.Cluster, prm RadixParams) (Result, error) {
+	prm = prm.defaults()
+	n := prm.Keys
+	baseA := 0
+	baseB := n * 4
+	baseHist := 2 * n * 4
+	P := prm.ProcsPerNode * len(c.Hosts)
+	heap := baseHist + P*radixBuckets*4
+
+	res, _, err := runOn(c, "RadixLocal", heap, prm.ProcsPerNode, 1, prm.Bound, func(w *svm.Worker) {
+		lo, hi := split(n, P, w.ID)
+
+		for it := 0; it < prm.Iters; it++ {
+			// Regenerate owned keys deterministically (xorshift-style).
+			buf := make([]byte, (hi-lo)*4)
+			for i := lo; i < hi; i++ {
+				k := uint32(i)*2654435761 + uint32(it)*40503
+				k ^= k >> 13
+				putU32(buf[(i-lo)*4:], k)
+			}
+			w.Write(baseA+lo*4, buf)
+			w.Compute(time.Duration(hi-lo) * prm.Cost.Key)
+			w.Barrier()
+
+			in, out := baseA, baseB
+			for pass := 0; pass < 32/radixBits; pass++ {
+				shift := uint(pass * radixBits)
+
+				// Phase 1: local histogram of owned slice.
+				var hist [radixBuckets]uint32
+				keys := w.View(in+lo*4, (hi-lo)*4)
+				for i := 0; i < hi-lo; i++ {
+					k := getU32(keys[i*4:])
+					hist[(k>>shift)&(radixBuckets-1)]++
+				}
+				w.Compute(time.Duration(hi-lo) * prm.Cost.Key)
+
+				// Publish the histogram row.
+				hb := make([]byte, radixBuckets*4)
+				for b, v := range hist {
+					putU32(hb[b*4:], v)
+				}
+				w.Write(baseHist+w.ID*radixBuckets*4, hb)
+				w.Barrier()
+
+				// Phase 2: read all histograms, compute this worker's
+				// per-bucket starting offsets (stable order: bucket-major,
+				// worker-minor).
+				all := w.View(baseHist, P*radixBuckets*4)
+				offsets := make([]int, radixBuckets)
+				pos := 0
+				for b := 0; b < radixBuckets; b++ {
+					for ww := 0; ww < P; ww++ {
+						if ww == w.ID {
+							offsets[b] = pos
+						}
+						pos += int(getU32(all[(ww*radixBuckets+b)*4:]))
+					}
+				}
+				w.Compute(time.Duration(P*radixBuckets) * prm.Cost.Key / 8)
+
+				// Phase 3: scatter owned keys to their global positions —
+				// the fine-grained, latency-sensitive phase.
+				keys = w.View(in+lo*4, (hi-lo)*4)
+				var kb [4]byte
+				for i := 0; i < hi-lo; i++ {
+					k := getU32(keys[i*4:])
+					b := (k >> shift) & (radixBuckets - 1)
+					copy(kb[:], keys[i*4:i*4+4])
+					w.Write(out+offsets[b]*4, kb[:])
+					offsets[b]++
+				}
+				w.Compute(time.Duration(hi-lo) * prm.Cost.Key)
+				w.Barrier()
+				in, out = out, in
+			}
+		}
+		w.Barrier()
+		if prm.Capture != nil && w.ID == 0 {
+			raw := w.View(baseA, n*4)
+			keys := make([]uint32, n)
+			for i := range keys {
+				keys[i] = getU32(raw[i*4:])
+			}
+			prm.Capture(keys)
+		}
+	})
+	return res, err
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"math"
+	"time"
+
+	"sanft/internal/core"
+	"sanft/internal/svm"
+)
+
+// WaterParams configures the WaterNSquared kernel. The paper's size is
+// 4096 molecules for 15 steps.
+type WaterParams struct {
+	// Molecules is the molecule count.
+	Molecules int
+	// Steps is the number of time steps.
+	Steps int
+	// Locks is the number of force-accumulation lock groups.
+	Locks int
+	// ProcsPerNode defaults to 2.
+	ProcsPerNode int
+	Bound        time.Duration
+	Cost         CostModel
+	// Capture, if set, receives the final positions (worker 0).
+	Capture func([]float64)
+}
+
+func (p WaterParams) defaults() WaterParams {
+	if p.Molecules == 0 {
+		p.Molecules = 216
+	}
+	if p.Steps == 0 {
+		p.Steps = 3
+	}
+	if p.Locks == 0 {
+		p.Locks = 16
+	}
+	if p.ProcsPerNode == 0 {
+		p.ProcsPerNode = 2
+	}
+	if p.Bound == 0 {
+		p.Bound = 10 * time.Minute
+	}
+	if p.Cost == (CostModel{}) {
+		p.Cost = DefaultCostModel()
+	}
+	return p
+}
+
+// PaperWaterParams returns the Table 2 size: 4096 molecules, 15 steps.
+func PaperWaterParams() WaterParams {
+	return WaterParams{Molecules: 4096, Steps: 15}.defaults()
+}
+
+// waterDT is the integration step.
+const waterDT = 1e-3
+
+// RunWater executes the O(n²) molecular-dynamics kernel: pairwise
+// Lennard-Jones-style forces, lock-guarded accumulation into the shared
+// force array, barrier-synchronized integration.
+func RunWater(c *core.Cluster, prm WaterParams) (Result, error) {
+	prm = prm.defaults()
+	n := prm.Molecules
+	basePos := 0
+	baseForce := n * 24 // 3 float64 per molecule
+	heap := 2 * n * 24
+	P := prm.ProcsPerNode * len(c.Hosts)
+
+	res, _, err := runOn(c, "WaterNSquared", heap, prm.ProcsPerNode, prm.Locks, prm.Bound, func(w *svm.Worker) {
+		lo, hi := split(n, P, w.ID)
+		// Velocities are private to the owner.
+		vel := make([]float64, (hi-lo)*3)
+
+		// Initialize owned molecules on a cubic lattice.
+		side := int(math.Ceil(math.Cbrt(float64(n))))
+		init := make([]float64, (hi-lo)*3)
+		for m := lo; m < hi; m++ {
+			i := m - lo
+			init[i*3] = float64(m%side) * 1.2
+			init[i*3+1] = float64((m/side)%side) * 1.2
+			init[i*3+2] = float64(m/(side*side)) * 1.2
+		}
+		w.WriteFloat64s(basePos+lo*24, init)
+		zero := make([]float64, (hi-lo)*3)
+		w.WriteFloat64s(baseForce+lo*24, zero)
+		w.Barrier()
+
+		for step := 0; step < prm.Steps; step++ {
+			// Read the full position array (page fetches: Data time).
+			pos := w.ReadFloat64s(basePos, n*3)
+
+			// Compute partial forces for this worker's pair share:
+			// molecule rows assigned round-robin for balance.
+			pf := make([]float64, n*3)
+			pairs := 0
+			for i := w.ID; i < n; i += P {
+				for j := i + 1; j < n; j++ {
+					fx, fy, fz := ljForce(
+						pos[i*3], pos[i*3+1], pos[i*3+2],
+						pos[j*3], pos[j*3+1], pos[j*3+2])
+					pf[i*3] += fx
+					pf[i*3+1] += fy
+					pf[i*3+2] += fz
+					pf[j*3] -= fx
+					pf[j*3+1] -= fy
+					pf[j*3+2] -= fz
+					pairs++
+				}
+			}
+			w.Compute(time.Duration(pairs) * 4 * prm.Cost.Flop)
+
+			// Accumulate into the shared force array under the lock
+			// covering each molecule group (the paper's heavy lock
+			// synchronization).
+			per := (n + prm.Locks - 1) / prm.Locks
+			for g := 0; g < prm.Locks; g++ {
+				glo, ghi := g*per, mini((g+1)*per, n)
+				if glo >= ghi {
+					continue
+				}
+				w.Lock(g)
+				cur := w.ReadFloat64s(baseForce+glo*24, (ghi-glo)*3)
+				changed := false
+				for m := glo; m < ghi; m++ {
+					i := (m - glo) * 3
+					if pf[m*3] != 0 || pf[m*3+1] != 0 || pf[m*3+2] != 0 {
+						cur[i] += pf[m*3]
+						cur[i+1] += pf[m*3+1]
+						cur[i+2] += pf[m*3+2]
+						changed = true
+					}
+				}
+				if changed {
+					w.WriteFloat64s(baseForce+glo*24, cur)
+				}
+				w.Unlock(g)
+			}
+			w.Compute(time.Duration(n) * 2 * prm.Cost.Flop)
+			w.Barrier()
+
+			// Integrate owned molecules and reset their forces.
+			f := w.ReadFloat64s(baseForce+lo*24, (hi-lo)*3)
+			p2 := w.ReadFloat64s(basePos+lo*24, (hi-lo)*3)
+			for i := range f {
+				vel[i] += f[i] * waterDT
+				p2[i] += vel[i] * waterDT
+			}
+			w.WriteFloat64s(basePos+lo*24, p2)
+			w.WriteFloat64s(baseForce+lo*24, make([]float64, (hi-lo)*3))
+			w.Compute(time.Duration(hi-lo) * 6 * prm.Cost.Flop)
+			w.Barrier()
+		}
+		if prm.Capture != nil && w.ID == 0 {
+			prm.Capture(w.ReadFloat64s(basePos, n*3))
+		}
+	})
+	return res, err
+}
+
+// ljForce computes a truncated Lennard-Jones-style pair force.
+func ljForce(x1, y1, z1, x2, y2, z2 float64) (fx, fy, fz float64) {
+	dx, dy, dz := x2-x1, y2-y1, z2-z1
+	r2 := dx*dx + dy*dy + dz*dz
+	const cutoff2 = 6.25 // 2.5²
+	if r2 > cutoff2 || r2 == 0 {
+		return 0, 0, 0
+	}
+	inv2 := 1.0 / r2
+	inv6 := inv2 * inv2 * inv2
+	// f(r)/r so components scale with displacement.
+	fr := 24 * inv2 * inv6 * (2*inv6 - 1)
+	// Clamp to keep the lattice integration stable at large dt.
+	if fr > 1e3 {
+		fr = 1e3
+	} else if fr < -1e3 {
+		fr = -1e3
+	}
+	return -fr * dx, -fr * dy, -fr * dz
+}

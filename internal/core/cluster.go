@@ -1,0 +1,182 @@
+// Package core assembles the full simulated platform: topology, fabric,
+// NICs (with or without the firmware retransmission protocol), VMMC
+// endpoints, error injection, and — when enabled — per-NIC on-demand
+// mappers wired to the permanent-failure detector. One Cluster is one
+// reproducible experiment instance.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sanft/internal/fabric"
+	"sanft/internal/fault"
+	"sanft/internal/mapping"
+	"sanft/internal/nic"
+	"sanft/internal/retrans"
+	"sanft/internal/routing"
+	"sanft/internal/sim"
+	"sanft/internal/topology"
+	"sanft/internal/vmmc"
+)
+
+// Config describes a cluster build.
+type Config struct {
+	// Net and Hosts define the wiring; if Net is nil, a single-switch
+	// star of NumHosts hosts is built.
+	Net      *topology.Network
+	Hosts    []topology.NodeID
+	NumHosts int
+
+	// FT enables the firmware retransmission protocol on every NIC.
+	FT bool
+	// Retrans holds protocol parameters (queue size q, timer interval T,
+	// permanent-failure threshold, ...). Zero fields take the paper's
+	// best-compromise defaults.
+	Retrans retrans.Config
+	// ErrorRate is the paper's send-side injected drop rate (e.g. 1e-3);
+	// each NIC gets its own deterministic dropper. Zero means no errors.
+	ErrorRate float64
+
+	// Cost overrides the NIC hardware cost model (zero = calibrated
+	// defaults); Fabric overrides wire constants (zero = defaults).
+	Cost   nic.CostModel
+	Fabric fabric.Config
+
+	// Mapper enables on-demand mapping: stale paths and missing routes
+	// trigger a background remap exactly as §4.2 describes. Requires FT.
+	Mapper    bool
+	MapperCfg mapping.Config
+
+	// Seed drives all deterministic randomness.
+	Seed int64
+}
+
+// Cluster is a fully wired simulation instance.
+type Cluster struct {
+	K     *sim.Kernel
+	Net   *topology.Network
+	Fab   *fabric.Fabric
+	Hosts []topology.NodeID
+	Dir   *vmmc.Directory
+
+	nics    map[topology.NodeID]*nic.NIC
+	eps     map[topology.NodeID]*vmmc.Endpoint
+	mappers map[topology.NodeID]*mapping.Mapper
+
+	// Remaps counts completed on-demand remap operations.
+	Remaps int
+	// Unreachables counts remaps that ended in an unreachable verdict.
+	Unreachables int
+}
+
+// New builds a cluster. All routes between host pairs are pre-installed
+// (shortest paths), as a freshly mapped system would have them.
+func New(cfg Config) *Cluster {
+	if cfg.Net == nil {
+		n := cfg.NumHosts
+		if n == 0 {
+			n = 2
+		}
+		cfg.Net, cfg.Hosts = topology.Star(n)
+	}
+	if len(cfg.Hosts) == 0 {
+		cfg.Hosts = cfg.Net.Hosts()
+	}
+	if cfg.Fabric == (fabric.Config{}) {
+		cfg.Fabric = fabric.DefaultConfig()
+	}
+	k := sim.New(cfg.Seed)
+	c := &Cluster{
+		K:       k,
+		Net:     cfg.Net,
+		Fab:     fabric.New(k, cfg.Net, cfg.Fabric),
+		Hosts:   cfg.Hosts,
+		Dir:     vmmc.NewDirectory(),
+		nics:    make(map[topology.NodeID]*nic.NIC),
+		eps:     make(map[topology.NodeID]*vmmc.Endpoint),
+		mappers: make(map[topology.NodeID]*mapping.Mapper),
+	}
+	for _, h := range cfg.Hosts {
+		var dropper fault.Dropper
+		if cfg.ErrorRate > 0 {
+			dropper = fault.NewRate(cfg.ErrorRate)
+		}
+		n := nic.New(k, c.Fab, h, nic.Options{
+			FT:      cfg.FT,
+			Retrans: cfg.Retrans,
+			Cost:    cfg.Cost,
+			Dropper: dropper,
+		})
+		c.nics[h] = n
+		c.eps[h] = vmmc.NewEndpoint(k, n, c.Dir)
+	}
+	for _, a := range cfg.Hosts {
+		for _, b := range cfg.Hosts {
+			if a == b {
+				continue
+			}
+			if r, err := routing.Shortest(cfg.Net, a, b); err == nil {
+				c.nics[a].SetRoute(b, r)
+			}
+		}
+	}
+	if cfg.Mapper {
+		if !cfg.FT {
+			panic("core: on-demand mapping requires the retransmission protocol")
+		}
+		for _, h := range cfg.Hosts {
+			h := h
+			m := mapping.New(k, c.nics[h], cfg.MapperCfg)
+			c.mappers[h] = m
+			remap := func(dst topology.NodeID) {
+				k.Spawn(fmt.Sprintf("remap-%d-%d", h, dst), func(p *sim.Proc) {
+					if _, ok := m.Remap(p, dst); ok {
+						c.Remaps++
+					} else {
+						c.Unreachables++
+					}
+				})
+			}
+			c.nics[h].SetOnPathStale(remap)
+			c.nics[h].SetOnNoRoute(remap)
+		}
+	}
+	return c
+}
+
+// NIC returns the NIC of host h.
+func (c *Cluster) NIC(h topology.NodeID) *nic.NIC { return c.nics[h] }
+
+// Endpoint returns the VMMC endpoint of host h.
+func (c *Cluster) Endpoint(h topology.NodeID) *vmmc.Endpoint { return c.eps[h] }
+
+// Mapper returns the on-demand mapper of host h (nil if mapping disabled).
+func (c *Cluster) Mapper(h topology.NodeID) *mapping.Mapper { return c.mappers[h] }
+
+// Host returns the i-th host's node ID.
+func (c *Cluster) Host(i int) topology.NodeID { return c.Hosts[i] }
+
+// EndpointAt returns the i-th host's endpoint.
+func (c *Cluster) EndpointAt(i int) *vmmc.Endpoint { return c.eps[c.Hosts[i]] }
+
+// NICAt returns the i-th host's NIC.
+func (c *Cluster) NICAt(i int) *nic.NIC { return c.nics[c.Hosts[i]] }
+
+// RunFor advances the whole simulation by d, then stops the kernel
+// (terminating any still-parked processes). Use for bounded experiments.
+func (c *Cluster) RunFor(d time.Duration) {
+	c.K.RunFor(d)
+}
+
+// Stop terminates the simulation and all its processes.
+func (c *Cluster) Stop() { c.K.Stop() }
+
+// StopSoon schedules a stop at the current instant; safe to call from
+// process context (the stop executes once control returns to the kernel).
+// Benchmarks call it when their workload completes so the run does not
+// idle through periodic timer events until its time bound.
+func (c *Cluster) StopSoon() { c.K.Immediately(func() { c.K.Stop() }) }
+
+// Now returns the current simulated time.
+func (c *Cluster) Now() sim.Time { return c.K.Now() }

@@ -1,0 +1,227 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"sanft/internal/sim"
+	"sanft/internal/topology"
+)
+
+// Config holds the physical constants of the fabric. Defaults (via
+// DefaultConfig) are calibrated to the paper's Myrinet testbed.
+type Config struct {
+	// LinkRate is the per-direction link bandwidth in bytes/second.
+	// Myrinet: 1.28 Gb/s = 160e6 B/s.
+	LinkRate float64
+	// PropDelay is the per-link propagation delay (SAN cables are a few
+	// feet).
+	PropDelay time.Duration
+	// RouteDelay is the per-switch routing decision time (crossbar setup).
+	RouteDelay time.Duration
+	// Watchdog is the Myrinet blocked-path timer: a worm blocked longer
+	// than this is reset and its packet dropped. Hardware-configurable
+	// 62.5 ms – 4 s; default 62.5 ms.
+	Watchdog time.Duration
+}
+
+// DefaultConfig returns constants calibrated to the paper's testbed.
+func DefaultConfig() Config {
+	return Config{
+		LinkRate:   160e6,
+		PropDelay:  50 * time.Nanosecond,
+		RouteDelay: 300 * time.Nanosecond,
+		Watchdog:   62500 * time.Microsecond,
+	}
+}
+
+// chanKey identifies a directed channel: one direction of a full-duplex
+// link. dir 0 flows A→B, dir 1 flows B→A.
+type chanKey struct {
+	link int
+	dir  int
+}
+
+// channelState is the arbiter for one directed channel: at most one worm
+// streams on it; others wait FIFO.
+type channelState struct {
+	holder  *worm
+	waiters []*worm
+	busy    time.Duration
+	grabbed sim.Time
+}
+
+// Fabric is the network wire simulator.
+type Fabric struct {
+	k   *sim.Kernel
+	nw  *topology.Network
+	cfg Config
+
+	chans   map[chanKey]*channelState
+	deliver map[topology.NodeID]func(*Packet)
+	worms   map[*worm]struct{} // in-flight, for flush operations
+
+	// transitHook, if set, runs once per packet at delivery time and may
+	// mutate it (set Corrupted) or return false to drop it in transit.
+	transitHook func(*Packet) bool
+
+	stats Stats
+}
+
+// New returns a fabric over network nw driven by kernel k.
+func New(k *sim.Kernel, nw *topology.Network, cfg Config) *Fabric {
+	if cfg.LinkRate <= 0 {
+		panic("fabric: LinkRate must be positive")
+	}
+	if cfg.Watchdog <= 0 {
+		panic("fabric: Watchdog must be positive")
+	}
+	return &Fabric{
+		k:       k,
+		nw:      nw,
+		cfg:     cfg,
+		chans:   make(map[chanKey]*channelState),
+		deliver: make(map[topology.NodeID]func(*Packet)),
+		worms:   make(map[*worm]struct{}),
+	}
+}
+
+// Kernel returns the driving kernel.
+func (f *Fabric) Kernel() *sim.Kernel { return f.k }
+
+// Network returns the underlying topology.
+func (f *Fabric) Network() *topology.Network { return f.nw }
+
+// Config returns the fabric constants.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Stats returns a snapshot of fabric counters.
+func (f *Fabric) Stats() Stats {
+	s := f.stats
+	s.Dropped = make(map[DropReason]uint64, len(f.stats.Dropped))
+	for k, v := range f.stats.Dropped {
+		s.Dropped[k] = v
+	}
+	return s
+}
+
+// InFlight returns the number of worms currently in the network.
+func (f *Fabric) InFlight() int { return len(f.worms) }
+
+// AttachHost registers the receive callback for a host: it runs (in event
+// context) when a packet's tail fully arrives at that host.
+func (f *Fabric) AttachHost(h topology.NodeID, fn func(*Packet)) {
+	if f.nw.Node(h).Kind != topology.Host {
+		panic(fmt.Sprintf("fabric: %d is not a host", h))
+	}
+	f.deliver[h] = fn
+}
+
+// SetTransitHook installs a fault-injection hook invoked once per packet at
+// delivery. Returning false drops the packet (counted as DropInjected); the
+// hook may also set pkt.Corrupted to model CRC errors.
+func (f *Fabric) SetTransitHook(fn func(*Packet) bool) { f.transitHook = fn }
+
+// SerializationTime returns how long a packet of n bytes occupies a link.
+func (f *Fabric) SerializationTime(n int) time.Duration {
+	return time.Duration(float64(n) / f.cfg.LinkRate * 1e9)
+}
+
+func (f *Fabric) chanState(key chanKey) *channelState {
+	cs := f.chans[key]
+	if cs == nil {
+		cs = &channelState{}
+		f.chans[key] = cs
+	}
+	return cs
+}
+
+// keyFor returns the directed channel leaving `from` across link l.
+func keyFor(l *topology.Link, from topology.NodeID) chanKey {
+	if l.A.Node == from {
+		return chanKey{l.ID, 0}
+	}
+	return chanKey{l.ID, 1}
+}
+
+// Inject launches a packet from host src. The packet's fate is reported via
+// its callbacks and fabric stats; there is no error return — the wire gives
+// no feedback, which is precisely why the retransmission protocol exists.
+func (f *Fabric) Inject(src topology.NodeID, pkt *Packet) {
+	pkt.Src = src
+	pkt.Injected = f.k.Now()
+	f.stats.Injected++
+	n := f.nw.Node(src)
+	if n.Kind != topology.Host {
+		panic(fmt.Sprintf("fabric: inject from non-host %s", n.Name))
+	}
+	l := n.Ports[0]
+	if !f.nw.LinkUsable(l) {
+		f.drop(pkt, DropNoRoute)
+		return
+	}
+	w := &worm{f: f, pkt: pkt, curNode: src}
+	f.worms[w] = struct{}{}
+	e := l.Other(src)
+	w.request(keyFor(l, src), e.Node)
+}
+
+func (f *Fabric) drop(pkt *Packet, reason DropReason) {
+	if f.stats.Dropped == nil {
+		f.stats.Dropped = make(map[DropReason]uint64)
+	}
+	f.stats.Dropped[reason]++
+	if pkt.OnDropped != nil {
+		pkt.OnDropped(reason)
+	}
+}
+
+// KillLink marks a link permanently failed and flushes any worms holding or
+// waiting on either of its channels.
+func (f *Fabric) KillLink(l *topology.Link) {
+	f.nw.KillLink(l)
+	f.flushWhere(func(w *worm) bool { return w.usesLink(l.ID) })
+}
+
+// KillSwitch marks a switch permanently failed and flushes worms crossing
+// any of its links.
+func (f *Fabric) KillSwitch(id topology.NodeID) {
+	f.nw.KillSwitch(id)
+	n := f.nw.Node(id)
+	links := make(map[int]bool)
+	for _, l := range n.Ports {
+		if l != nil {
+			links[l.ID] = true
+		}
+	}
+	f.flushWhere(func(w *worm) bool {
+		for _, k := range w.held {
+			if links[k.link] {
+				return true
+			}
+		}
+		return w.waiting != nil && links[w.waitKey.link]
+	})
+}
+
+func (f *Fabric) flushWhere(pred func(*worm) bool) {
+	var victims []*worm
+	for w := range f.worms {
+		if pred(w) {
+			victims = append(victims, w)
+		}
+	}
+	for _, w := range victims {
+		w.die(DropFlushed)
+	}
+}
+
+// ChannelBusyTime returns the accumulated busy time of the directed channel
+// leaving `from` over link l, for utilization reporting.
+func (f *Fabric) ChannelBusyTime(l *topology.Link, from topology.NodeID) time.Duration {
+	cs := f.chans[keyFor(l, from)]
+	if cs == nil {
+		return 0
+	}
+	return cs.busy
+}

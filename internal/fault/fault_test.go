@@ -1,0 +1,201 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoneNeverDrops(t *testing.T) {
+	var n None
+	for i := 0; i < 1000; i++ {
+		if n.ShouldDrop() {
+			t.Fatal("None dropped")
+		}
+	}
+}
+
+func TestIntervalDropperRate(t *testing.T) {
+	for _, rate := range []float64{1e-1, 1e-2, 1e-3} {
+		d := NewRate(rate)
+		const n = 200000
+		drops := 0
+		for i := 0; i < n; i++ {
+			if d.ShouldDrop() {
+				drops++
+			}
+		}
+		got := float64(drops) / n
+		if math.Abs(got-rate)/rate > 0.05 {
+			t.Fatalf("rate %g: measured %g (drops=%d)", rate, got, drops)
+		}
+		if d.Seen() != n || d.Dropped() != uint64(drops) {
+			t.Fatal("counters wrong")
+		}
+	}
+}
+
+func TestIntervalDropperStrictPeriodicity(t *testing.T) {
+	d := &IntervalDropper{Interval: 10} // no jitter
+	var positions []int
+	for i := 1; i <= 50; i++ {
+		if d.ShouldDrop() {
+			positions = append(positions, i)
+		}
+	}
+	want := []int{10, 20, 30, 40, 50}
+	if len(positions) != len(want) {
+		t.Fatalf("positions %v, want %v", positions, want)
+	}
+	for i := range want {
+		if positions[i] != want[i] {
+			t.Fatalf("positions %v, want %v", positions, want)
+		}
+	}
+}
+
+func TestIntervalDropperJitterBounds(t *testing.T) {
+	d := &IntervalDropper{Interval: 100, JitterFrac: 0.25}
+	prev := 0
+	count := 0
+	for i := 1; i <= 100000; i++ {
+		if d.ShouldDrop() {
+			gap := i - prev
+			if gap < 75 || gap > 125 {
+				t.Fatalf("gap %d outside [75,125]", gap)
+			}
+			prev = i
+			count++
+		}
+	}
+	if count < 900 || count > 1100 {
+		t.Fatalf("drops = %d, want ≈1000", count)
+	}
+}
+
+func TestIntervalDropperDeterministic(t *testing.T) {
+	run := func() []int {
+		d := NewRate(0.01)
+		var out []int
+		for i := 0; i < 10000; i++ {
+			if d.ShouldDrop() {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic drop count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic drop positions")
+		}
+	}
+}
+
+func TestNewRateValidation(t *testing.T) {
+	if NewRate(0) != nil {
+		t.Fatal("rate 0 should return nil")
+	}
+	for _, bad := range []float64{-0.1, 0.6, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("rate %g should panic", bad)
+				}
+			}()
+			NewRate(bad)
+		}()
+	}
+}
+
+func TestRandomDropperRate(t *testing.T) {
+	d := NewRandom(0.1, 7)
+	const n = 100000
+	drops := 0
+	for i := 0; i < n; i++ {
+		if d.ShouldDrop() {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if got < 0.09 || got > 0.11 {
+		t.Fatalf("rate = %g, want ≈0.1", got)
+	}
+	if d.Dropped() != uint64(drops) {
+		t.Fatal("counter wrong")
+	}
+}
+
+func TestBurstDropperRateAndBurstiness(t *testing.T) {
+	d := NewBurst(0.1, 5, 3)
+	const n = 200000
+	drops := 0
+	maxRun, run := 0, 0
+	for i := 0; i < n; i++ {
+		if d.ShouldDrop() {
+			drops++
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	got := float64(drops) / n
+	if got < 0.08 || got > 0.12 {
+		t.Fatalf("rate = %g, want ≈0.1", got)
+	}
+	if maxRun < 5 {
+		t.Fatalf("max run = %d, want ≥ burst length 5", maxRun)
+	}
+}
+
+func TestBurstDropperValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("burst length 0 should panic")
+		}
+	}()
+	NewBurst(0.1, 0, 1)
+}
+
+func TestCorruptorRate(t *testing.T) {
+	c := NewCorruptor(0.05, 11)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if c.Corrupt() {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.04 || got > 0.06 {
+		t.Fatalf("rate = %g, want ≈0.05", got)
+	}
+	if c.Corrupted() != uint64(hits) {
+		t.Fatal("counter wrong")
+	}
+}
+
+func TestPropertyIntervalDropperLongRunRate(t *testing.T) {
+	f := func(intervalSeed uint16) bool {
+		interval := uint64(intervalSeed%500) + 2
+		d := &IntervalDropper{Interval: interval, JitterFrac: 0.25}
+		n := int(interval) * 200
+		drops := 0
+		for i := 0; i < n; i++ {
+			if d.ShouldDrop() {
+				drops++
+			}
+		}
+		// Expect ≈200 drops; allow ±15%.
+		return drops > 170 && drops < 230
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

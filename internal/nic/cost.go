@@ -1,0 +1,102 @@
+// Package nic models the network interface controller: a LANai-class
+// firmware processor with SRAM send buffers, a PCI DMA engine, and a
+// transmit path into the fabric. The retransmission protocol
+// (internal/retrans) runs inside the firmware, exactly as the paper's
+// scheme runs inside the Myrinet control program.
+//
+// The model is calibrated (CostModel) so that the no-fault-tolerance
+// baseline matches the paper's platform: ~8µs one-way latency for a 4-byte
+// message through one switch, ~120 MB/s PCI-limited bandwidth for large
+// messages, and a ~16µs minimum round trip. Fault tolerance adds ~1µs of
+// firmware occupancy on each side, reproducing the 8→10µs shift of
+// Figure 3.
+package nic
+
+import "time"
+
+// CostModel holds the per-operation costs of the simulated hardware.
+type CostModel struct {
+	// HostPIOSend is the host CPU cost to write a small (≤PIOThreshold)
+	// message into NIC SRAM with programmed I/O.
+	HostPIOSend time.Duration
+	// HostDescPost is the host CPU cost to post a DMA descriptor for a
+	// larger message.
+	HostDescPost time.Duration
+
+	// PCIRate is the effective host↔NIC DMA bandwidth in bytes/sec
+	// (32-bit PCI: ~125 MB/s effective of the 132 MB/s theoretical).
+	PCIRate float64
+	// PCISetup is the fixed per-transfer DMA setup cost.
+	PCISetup time.Duration
+
+	// SendFirmware is the firmware occupancy to process one outgoing
+	// packet (descriptor fetch, header build, route lookup, TX setup).
+	SendFirmware time.Duration
+	// RecvFirmware is the firmware occupancy to process one incoming
+	// packet (CRC check, demux, receive-DMA setup).
+	RecvFirmware time.Duration
+
+	// FTSendOverhead and FTRecvOverhead are the extra firmware occupancy
+	// per data packet when the retransmission protocol is enabled:
+	// sequence assignment and retransmission-queue management on the
+	// send side, sequence checking and ack bookkeeping on the receive
+	// side. Figure 3 measures ≈1.0µs each.
+	FTSendOverhead time.Duration
+	FTRecvOverhead time.Duration
+
+	// AckSendCost is the firmware cost to build and queue an explicit
+	// acknowledgment frame.
+	AckSendCost time.Duration
+	// AckRecvCost is the firmware cost to process an arriving explicit
+	// acknowledgment (frees retransmission-queue entries).
+	AckRecvCost time.Duration
+	// RetransPktCost is the firmware cost per packet re-enqueued by the
+	// go-back-N engine (queue manipulation only — no copies).
+	RetransPktCost time.Duration
+
+	// TimerScanCost and TimerPerDestCost model the periodic
+	// retransmission timer: one scan plus a per-active-destination
+	// check. The paper maintains a single timer per NIC, so this runs
+	// once per interval regardless of traffic.
+	TimerScanCost    time.Duration
+	TimerPerDestCost time.Duration
+
+	// ProbeCost is the firmware cost to process or answer a mapping
+	// probe.
+	ProbeCost time.Duration
+
+	// HostNotify is the cost to post a receive notification to the host
+	// after depositing data (no interrupt: VMMC writes a status flag).
+	HostNotify time.Duration
+
+	// PIOThreshold: messages of at most this many bytes go by programmed
+	// I/O; larger ones by DMA. VMMC uses 32 bytes.
+	PIOThreshold int
+	// MTU is the maximum data payload per packet; VMMC segments larger
+	// messages into 4-KByte chunks.
+	MTU int
+}
+
+// DefaultCostModel returns constants calibrated to the paper's testbed
+// (450 MHz PII hosts, 66 MHz LANai 7, 32-bit PCI).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		HostPIOSend:      700 * time.Nanosecond,
+		HostDescPost:     500 * time.Nanosecond,
+		PCIRate:          125e6,
+		PCISetup:         800 * time.Nanosecond,
+		SendFirmware:     3000 * time.Nanosecond,
+		RecvFirmware:     2400 * time.Nanosecond,
+		FTSendOverhead:   1000 * time.Nanosecond,
+		FTRecvOverhead:   1000 * time.Nanosecond,
+		AckSendCost:      700 * time.Nanosecond,
+		AckRecvCost:      600 * time.Nanosecond,
+		RetransPktCost:   500 * time.Nanosecond,
+		TimerScanCost:    500 * time.Nanosecond,
+		TimerPerDestCost: 100 * time.Nanosecond,
+		ProbeCost:        1000 * time.Nanosecond,
+		HostNotify:       600 * time.Nanosecond,
+		PIOThreshold:     32,
+		MTU:              4096,
+	}
+}

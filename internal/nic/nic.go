@@ -1,0 +1,765 @@
+package nic
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sanft/internal/fabric"
+	"sanft/internal/fault"
+	"sanft/internal/proto"
+	"sanft/internal/retrans"
+	"sanft/internal/routing"
+	"sanft/internal/sim"
+	"sanft/internal/stats"
+	"sanft/internal/topology"
+	"sanft/internal/trace"
+)
+
+// Options configures a NIC.
+type Options struct {
+	// Cost is the hardware cost model; zero value means defaults.
+	Cost CostModel
+	// FT enables the firmware retransmission protocol. Off, the NIC is
+	// the unreliable baseline ("No Fault Tolerance" in the figures).
+	FT bool
+	// Retrans holds the protocol parameters (queue size, timer, ...).
+	// The queue size also bounds the send-buffer pool in non-FT mode.
+	Retrans retrans.Config
+	// Dropper, if non-nil, injects send-side packet drops (the paper's
+	// controlled error-rate mechanism). Applies to data frames only.
+	Dropper fault.Dropper
+
+	// OnDeliver receives accepted data frames after the receive path
+	// completes (data deposited in host memory, notification posted).
+	OnDeliver func(*proto.Frame)
+	// OnProbe receives host-probe replies and echo probes (the mapping
+	// layer's upcall). Host probes themselves are answered in firmware.
+	OnProbe func(*proto.Frame)
+	// OnPathStale fires (at most once per remap cycle) when a
+	// destination exceeds the permanent-failure threshold with no
+	// acknowledgment progress.
+	OnPathStale func(dst topology.NodeID)
+	// OnNoRoute fires when a packet must be transmitted but no route to
+	// its destination is installed.
+	OnNoRoute func(dst topology.NodeID)
+	// Tracer, if non-nil, receives a packet-level event per protocol
+	// action (see internal/trace). Debugging aid; zero cost when nil.
+	Tracer trace.Tracer
+}
+
+// txItem is one frame queued for transmission.
+type txItem struct {
+	frame *proto.Frame
+	entry *retrans.Entry // nil for control frames and non-FT mode
+}
+
+// depositMark is the reliable-reception ack horizon for one source.
+type depositMark struct {
+	gen   uint32
+	seq   uint64
+	valid bool
+}
+
+// NIC is one simulated network interface.
+type NIC struct {
+	k    *sim.Kernel
+	fab  *fabric.Fabric
+	node topology.NodeID
+	cost CostModel
+	ft   bool
+
+	// cpu is the firmware processor (LANai); pci the host-DMA engine.
+	cpu *sim.Resource
+	pci *sim.Resource
+
+	routes map[topology.NodeID]routing.Route
+
+	freeBuffers int
+	bufGate     sim.Gate
+
+	txQueue []txItem
+	txBusy  bool
+
+	snd        *retrans.Sender
+	rcv        *retrans.Receiver
+	delayedAck map[topology.NodeID]*sim.Timer
+	inRemap    map[topology.NodeID]bool
+	// deposited tracks, per source, the newest (gen, seq) whose data has
+	// completed its DMA into host memory — the acknowledgment horizon
+	// under reliable-reception semantics (deposits are FIFO through the
+	// PCI engine, so this is cumulative).
+	deposited map[topology.NodeID]depositMark
+
+	dropper fault.Dropper
+	opts    Options
+
+	ctr *stats.Counters
+}
+
+// emit records a trace event if a tracer is wired.
+func (n *NIC) emit(kind trace.Kind, peer topology.NodeID, gen uint32, seq uint64) {
+	if n.opts.Tracer == nil {
+		return
+	}
+	n.opts.Tracer.Trace(trace.Event{
+		At: n.k.Now(), Node: n.node, Kind: kind, Peer: peer, Gen: gen, Seq: seq,
+	})
+}
+
+// New creates a NIC for host `node`, attaches it to the fabric, and (in FT
+// mode) starts the retransmission timer.
+func New(k *sim.Kernel, fab *fabric.Fabric, node topology.NodeID, opts Options) *NIC {
+	if opts.Cost == (CostModel{}) {
+		opts.Cost = DefaultCostModel()
+	}
+	opts.Retrans = opts.Retrans.Defaults()
+	n := &NIC{
+		k:           k,
+		fab:         fab,
+		node:        node,
+		cost:        opts.Cost,
+		ft:          opts.FT,
+		cpu:         sim.NewResource(k, fmt.Sprintf("nic%d-cpu", node)),
+		pci:         sim.NewResource(k, fmt.Sprintf("nic%d-pci", node)),
+		routes:      make(map[topology.NodeID]routing.Route),
+		freeBuffers: opts.Retrans.QueueSize,
+		delayedAck:  make(map[topology.NodeID]*sim.Timer),
+		inRemap:     make(map[topology.NodeID]bool),
+		deposited:   make(map[topology.NodeID]depositMark),
+		dropper:     opts.Dropper,
+		opts:        opts,
+		ctr:         stats.NewCounters(),
+	}
+	if n.dropper == nil {
+		n.dropper = fault.None{}
+	}
+	if opts.FT {
+		n.snd = retrans.NewSender(opts.Retrans)
+		n.rcv = retrans.NewReceiver(opts.Retrans)
+		n.scheduleTimer()
+	}
+	fab.AttachHost(node, n.onWire)
+	return n
+}
+
+// Node returns the host this NIC belongs to.
+func (n *NIC) Node() topology.NodeID { return n.node }
+
+// SetOnDeliver replaces the accepted-data upcall (used by the VMMC layer,
+// which is constructed after the NIC).
+func (n *NIC) SetOnDeliver(fn func(*proto.Frame)) { n.opts.OnDeliver = fn }
+
+// SetOnProbe replaces the probe-reply upcall (used by the mapping layer).
+func (n *NIC) SetOnProbe(fn func(*proto.Frame)) { n.opts.OnProbe = fn }
+
+// SetOnPathStale replaces the permanent-failure-suspected upcall.
+func (n *NIC) SetOnPathStale(fn func(dst topology.NodeID)) { n.opts.OnPathStale = fn }
+
+// SetOnNoRoute replaces the missing-route upcall.
+func (n *NIC) SetOnNoRoute(fn func(dst topology.NodeID)) { n.opts.OnNoRoute = fn }
+
+// SetTracer wires (or removes, with nil) a packet-event tracer.
+func (n *NIC) SetTracer(tr trace.Tracer) { n.opts.Tracer = tr }
+
+// SetDropper replaces the send-side error injector (nil disables
+// injection). Used by experiments that need non-default loss models.
+func (n *NIC) SetDropper(d fault.Dropper) {
+	if d == nil {
+		d = fault.None{}
+	}
+	n.dropper = d
+}
+
+// Counters returns the NIC's event counters.
+func (n *NIC) Counters() *stats.Counters { return n.ctr }
+
+// CPU returns the firmware processor resource (for utilization reporting).
+func (n *NIC) CPU() *sim.Resource { return n.cpu }
+
+// PCI returns the host-DMA engine resource.
+func (n *NIC) PCI() *sim.Resource { return n.pci }
+
+// ProtoSender exposes retransmission-protocol sender state (nil without FT).
+func (n *NIC) ProtoSender() *retrans.Sender { return n.snd }
+
+// ProtoReceiver exposes protocol receiver state (nil without FT).
+func (n *NIC) ProtoReceiver() *retrans.Receiver { return n.rcv }
+
+// FreeBuffers returns the number of free send buffers.
+func (n *NIC) FreeBuffers() int { return n.freeBuffers }
+
+// Cost returns the NIC's cost model.
+func (n *NIC) Cost() CostModel { return n.cost }
+
+// FT reports whether the retransmission protocol is enabled.
+func (n *NIC) FT() bool { return n.ft }
+
+// SetRoute installs (or replaces) the source route used for frames to dst.
+func (n *NIC) SetRoute(dst topology.NodeID, r routing.Route) {
+	n.routes[dst] = r
+	delete(n.inRemap, dst)
+}
+
+// Route returns the installed route to dst.
+func (n *NIC) Route(dst topology.NodeID) (routing.Route, bool) {
+	r, ok := n.routes[dst]
+	return r, ok
+}
+
+// RemoveRoute invalidates the route to dst (e.g. after a permanent failure
+// is detected).
+func (n *NIC) RemoveRoute(dst topology.NodeID) { delete(n.routes, dst) }
+
+// Destinations returns the destinations with installed routes, sorted.
+func (n *NIC) Destinations() []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(n.routes))
+	for d := range n.routes {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+// Send transmits a data frame to frame.Dst from host-process context. It
+// blocks (in virtual time) while no send buffer is free, pays the host-side
+// cost (PIO or descriptor post), and returns once the host's part is done —
+// the asynchronous VMMC send semantics. Delivery is reported to the remote
+// host via its OnDeliver.
+func (n *NIC) Send(p *sim.Proc, frame *proto.Frame) {
+	if frame.Type != proto.FrameData || frame.Data == nil {
+		panic("nic: Send is for data frames; use SendControl")
+	}
+	frame.Src = n.node
+	if frame.Stamps.HostStart == 0 {
+		frame.Stamps.HostStart = n.k.Now()
+	}
+	// Reserve a send buffer; block while the pool is exhausted. This is
+	// where a small NIC send queue throttles the sender.
+	for n.freeBuffers == 0 {
+		n.ctr.Inc("send-buffer-stall", 1)
+		n.bufGate.Wait(p)
+	}
+	n.freeBuffers--
+
+	size := len(frame.Data.Data)
+	if size <= n.cost.PIOThreshold {
+		// Programmed I/O: the host CPU moves the bytes itself.
+		p.Sleep(n.cost.HostPIOSend)
+		frame.Stamps.HostDone = n.k.Now()
+		n.firmwareSend(frame)
+		return
+	}
+	// DMA: the host posts a descriptor and returns; the PCI engine pulls
+	// the data into NIC SRAM and then hands it to the firmware.
+	p.Sleep(n.cost.HostDescPost)
+	frame.Stamps.HostDone = n.k.Now()
+	n.pci.SubmitBytes(size, n.cost.PCIRate, n.cost.PCISetup, func() {
+		n.firmwareSend(frame)
+	})
+}
+
+// firmwareSend is the firmware's per-packet send processing.
+func (n *NIC) firmwareSend(frame *proto.Frame) {
+	c := n.cost.SendFirmware
+	if n.ft {
+		c += n.cost.FTSendOverhead
+	}
+	n.cpu.Submit(c, func() {
+		var entry *retrans.Entry
+		if n.ft {
+			entry = n.snd.Prepare(frame.Dst, n.k.Now(), n.freeBuffers, frame, frame.WireSize())
+			frame.Gen = entry.Gen
+			frame.Seq = entry.Seq
+			frame.AckReq = n.snd.AckRequestFor(entry, n.freeBuffers)
+			n.attachPiggyback(frame)
+			entry.InFlight++
+		}
+		n.emit(trace.EvSend, frame.Dst, frame.Gen, frame.Seq)
+		n.enqueueTX(txItem{frame: frame, entry: entry}, false)
+	})
+}
+
+// attachPiggyback adds the current cumulative ack for frame.Dst to an
+// outgoing data frame, if the receiver side owes that node one (§4.1.2:
+// piggy-backed acknowledgments on two-way traffic).
+func (n *NIC) attachPiggyback(frame *proto.Frame) {
+	if n.snd.Config().NoPiggyback {
+		return
+	}
+	if !n.rcv.PendingAck(frame.Dst) {
+		return
+	}
+	gen, seq, ok := n.ackValue(frame.Dst)
+	if !ok {
+		return
+	}
+	frame.HasAck = true
+	frame.AckGen = gen
+	frame.AckSeq = seq
+	n.rcv.AckEmitted(frame.Dst)
+	n.cancelDelayedAck(frame.Dst)
+	n.ctr.Inc("acks-piggybacked", 1)
+}
+
+// SendControl queues a control frame (ack or probe) for transmission. If
+// route is nil the installed route for frame.Dst is used. Control frames
+// bypass the buffer pool and the retransmission protocol entirely: they
+// are fire-and-forget, as acknowledgments must be (§4.1.1: "acknowledgments
+// are not critical... they can be dropped").
+func (n *NIC) SendControl(frame *proto.Frame, route routing.Route) {
+	frame.Src = n.node
+	if route == nil {
+		r, ok := n.routes[frame.Dst]
+		if !ok {
+			n.ctr.Inc("control-no-route", 1)
+			return
+		}
+		route = r
+	}
+	frame.Probe = cloneProbe(frame.Probe)
+	frame.ControlRoute = route
+	n.enqueueTX(txItem{frame: frame}, false)
+}
+
+func cloneProbe(p *proto.ProbePayload) *proto.ProbePayload {
+	if p == nil {
+		return nil
+	}
+	c := *p
+	c.ReturnRoute = p.ReturnRoute.Clone()
+	return &c
+}
+
+// enqueueTX appends (or, for retransmissions, prepends) a packet to the
+// transmit queue and starts the transmitter if idle.
+func (n *NIC) enqueueTX(it txItem, front bool) {
+	if front {
+		n.txQueue = append([]txItem{it}, n.txQueue...)
+	} else {
+		n.txQueue = append(n.txQueue, it)
+	}
+	n.kickTX()
+}
+
+// kickTX pushes the next queued packet onto the wire. The NIC has one
+// network-send DMA: one packet streams at a time, and the next starts when
+// the previous packet's tail has left the SRAM (OnInjectDone).
+func (n *NIC) kickTX() {
+	for !n.txBusy && len(n.txQueue) > 0 {
+		it := n.txQueue[0]
+		n.txQueue = n.txQueue[1:]
+		frame := it.frame
+
+		// Send-side error injection (§5.1.3): the packet goes to the
+		// retransmission queue as if transmitted, but never touches the
+		// wire.
+		if frame.Type == proto.FrameData && n.dropper.ShouldDrop() {
+			n.ctr.Inc("err-injected-drops", 1)
+			n.emit(trace.EvErrDrop, frame.Dst, frame.Gen, frame.Seq)
+			if n.ft && it.entry != nil {
+				n.snd.OnTransmitted(it.entry, n.k.Now())
+				it.entry.InFlight--
+			} else {
+				n.releaseBuffer()
+			}
+			continue
+		}
+
+		route := frame.ControlRoute
+		if route == nil {
+			r, ok := n.routes[frame.Dst]
+			if !ok {
+				n.ctr.Inc("tx-no-route", 1)
+				if n.ft && it.entry != nil {
+					// Keep the entry queued; the timer will retry once a
+					// route exists. Mark transmitted so the timer owns it.
+					n.snd.OnTransmitted(it.entry, n.k.Now())
+					it.entry.InFlight--
+					n.noRoute(frame.Dst)
+				} else {
+					n.releaseBuffer()
+				}
+				continue
+			}
+			route = r
+		}
+
+		frame.Stamps.Injected = n.k.Now()
+		if n.ft && it.entry != nil {
+			n.snd.OnTransmitted(it.entry, n.k.Now())
+		}
+		isData := frame.Type == proto.FrameData
+		entry := it.entry
+		pkt := &fabric.Packet{
+			Route:   route.Clone(),
+			Dst:     frame.Dst,
+			Size:    frame.WireSize(),
+			Payload: frame,
+			OnInjectDone: func() {
+				n.txBusy = false
+				if entry != nil {
+					entry.InFlight--
+				}
+				if !n.ft && isData {
+					n.releaseBuffer()
+				}
+				n.kickTX()
+			},
+		}
+		n.txBusy = true
+		n.ctr.Inc("pkts-sent", 1)
+		if frame.Type == proto.FrameData {
+			n.emit(trace.EvInject, frame.Dst, frame.Gen, frame.Seq)
+		}
+		n.fab.Inject(n.node, pkt)
+		return
+	}
+}
+
+// releaseBuffer returns one send buffer to the pool and wakes a blocked
+// sender.
+func (n *NIC) releaseBuffer() {
+	n.freeBuffers++
+	n.bufGate.Signal()
+}
+
+func (n *NIC) releaseBuffers(k int) {
+	if k == 0 {
+		return
+	}
+	n.freeBuffers += k
+	n.bufGate.Broadcast()
+}
+
+func (n *NIC) noRoute(dst topology.NodeID) {
+	if n.opts.OnNoRoute != nil && !n.inRemap[dst] {
+		n.inRemap[dst] = true
+		n.opts.OnNoRoute(dst)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Retransmission timer
+// ---------------------------------------------------------------------------
+
+func (n *NIC) scheduleTimer() {
+	interval := n.snd.Config().Interval
+	// Desynchronize timer phases across NICs (real NICs boot at
+	// arbitrary instants). Without this, symmetric workloads can
+	// retransmit in lockstep after a synchronized watchdog reset and
+	// re-deadlock forever — a livelock only possible because the
+	// simulation starts every NIC at t=0.
+	phase := time.Duration(int64(n.node)%16) * (interval / 16)
+	var tick func()
+	tick = func() {
+		n.timerFire()
+		n.k.After(interval, tick)
+	}
+	n.k.After(interval+phase, tick)
+}
+
+// timerFire is the single periodic retransmission timer: one firmware scan
+// over the per-destination queues.
+func (n *NIC) timerFire() {
+	active := len(n.routes)
+	cost := n.cost.TimerScanCost + time.Duration(active)*n.cost.TimerPerDestCost
+	n.cpu.Submit(cost, func() {
+		now := n.k.Now()
+		batches := n.snd.Tick(now)
+		for _, b := range batches {
+			n.retransmitBatch(b)
+		}
+		if n.opts.OnPathStale != nil {
+			for _, dst := range n.snd.StalePaths(now) {
+				if !n.inRemap[dst] {
+					n.inRemap[dst] = true
+					n.opts.OnPathStale(dst)
+				}
+			}
+		}
+	})
+}
+
+// retransmitBatch re-enqueues a go-back-N batch at the front of the TX
+// queue, in order, cloning each frame (an original may still be in flight).
+// The final frame requests an immediate ack so the sender resynchronizes
+// in one round trip.
+func (n *NIC) retransmitBatch(b retrans.Batch) {
+	n.ctr.Inc("retransmit-bursts", 1)
+	cost := time.Duration(len(b.Entries)) * n.cost.RetransPktCost
+	n.cpu.Submit(cost, func() {
+		items := make([]txItem, 0, len(b.Entries))
+		for i, e := range b.Entries {
+			orig, ok := e.Payload.(*proto.Frame)
+			if !ok {
+				continue
+			}
+			f := *orig
+			f.Retransmitted = true
+			f.HasAck = false
+			f.Gen = e.Gen
+			f.Seq = e.Seq
+			if i == len(b.Entries)-1 {
+				f.AckReq = proto.AckImmediate
+			}
+			n.attachPiggybackIfAny(&f)
+			n.ctr.Inc("pkts-retransmitted", 1)
+			n.emit(trace.EvRetransmit, f.Dst, f.Gen, f.Seq)
+			e.InFlight++
+			items = append(items, txItem{frame: &f, entry: e})
+		}
+		// Prepend preserving batch order.
+		n.txQueue = append(items, n.txQueue...)
+		n.kickTX()
+	})
+}
+
+func (n *NIC) attachPiggybackIfAny(frame *proto.Frame) {
+	if n.rcv != nil && n.rcv.PendingAck(frame.Dst) {
+		n.attachPiggyback(frame)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+// onWire is the fabric delivery callback: a packet's tail has arrived in
+// NIC SRAM.
+func (n *NIC) onWire(pkt *fabric.Packet) {
+	frame, ok := pkt.Payload.(*proto.Frame)
+	if !ok {
+		panic("nic: non-frame payload on the wire")
+	}
+	frame.Stamps.Delivered = pkt.Delivered
+	var cost time.Duration
+	switch frame.Type {
+	case proto.FrameAck:
+		cost = n.cost.AckRecvCost
+	case proto.FrameData:
+		cost = n.cost.RecvFirmware
+		if n.ft {
+			cost += n.cost.FTRecvOverhead
+		}
+	default:
+		cost = n.cost.ProbeCost
+	}
+	n.cpu.Submit(cost, func() { n.processFrame(frame, pkt) })
+}
+
+func (n *NIC) processFrame(frame *proto.Frame, pkt *fabric.Packet) {
+	// The CRC check covers every frame type; corrupted packets are
+	// dropped after the check cost is paid.
+	if pkt.Corrupted {
+		n.ctr.Inc("crc-drops", 1)
+		n.emit(trace.EvCrcDrop, frame.Src, frame.Gen, frame.Seq)
+		return
+	}
+	switch frame.Type {
+	case proto.FrameAck:
+		n.processAck(frame.Src, frame.AckGen, frame.AckSeq)
+	case proto.FrameData:
+		n.processData(frame)
+	case proto.FrameHostProbe:
+		n.answerHostProbe(frame)
+	case proto.FrameHostProbeReply, proto.FrameEchoProbe:
+		if n.opts.OnProbe != nil {
+			n.opts.OnProbe(frame)
+		}
+	case proto.FrameRouteUpdate:
+		if frame.Probe != nil {
+			n.SetRoute(frame.Src, frame.Probe.ReturnRoute)
+			n.ctr.Inc("route-updates", 1)
+		}
+	}
+}
+
+func (n *NIC) processAck(from topology.NodeID, gen uint32, seq uint64) {
+	if !n.ft {
+		return
+	}
+	n.ctr.Inc("acks-received", 1)
+	n.emit(trace.EvAckRx, from, gen, seq)
+	freed := n.snd.OnAck(from, gen, seq, n.k.Now())
+	n.releaseBuffers(len(freed))
+}
+
+func (n *NIC) processData(frame *proto.Frame) {
+	// Piggybacked ack first: it frees buffers regardless of the data
+	// verdict.
+	if n.ft && frame.HasAck {
+		freed := n.snd.OnAck(frame.Src, frame.AckGen, frame.AckSeq, n.k.Now())
+		n.releaseBuffers(len(freed))
+	}
+	rr := n.ft && n.snd.Config().ReliableReception
+	var verdict retrans.Verdict
+	if n.ft {
+		verdict = n.rcv.OnData(frame.Src, frame.Gen, frame.Seq, frame.AckReq)
+		if !rr {
+			if verdict.AckNow {
+				n.sendAck(frame.Src)
+			} else if verdict.ArmDelayed {
+				n.armDelayedAck(frame.Src)
+			}
+		} else if !verdict.Accept && verdict.AckNow {
+			// Duplicate under reliable reception: re-ack up to the
+			// deposit horizon.
+			n.sendAck(frame.Src)
+		}
+		if !verdict.Accept {
+			n.ctr.Inc("rx-dropped", 1)
+			if n.rcv.Expected(frame.Src) > frame.Seq {
+				n.emit(trace.EvDupDrop, frame.Src, frame.Gen, frame.Seq)
+			} else {
+				n.emit(trace.EvOooDrop, frame.Src, frame.Gen, frame.Seq)
+			}
+			return
+		}
+	}
+	frame.Stamps.NICRecvDone = n.k.Now()
+	n.ctr.Inc("pkts-accepted", 1)
+	n.emit(trace.EvAccept, frame.Src, frame.Gen, frame.Seq)
+	// Deposit into host memory through the PCI engine, then notify.
+	size := len(frame.Data.Data)
+	n.pci.SubmitBytes(size, n.cost.PCIRate, n.cost.PCISetup, func() {
+		if rr {
+			// The data is now in host memory: advance the ack horizon
+			// and perform the deferred acknowledgment actions.
+			n.deposited[frame.Src] = depositMark{gen: frame.Gen, seq: frame.Seq, valid: true}
+			if verdict.AckNow {
+				n.sendAck(frame.Src)
+			} else if verdict.ArmDelayed {
+				n.armDelayedAck(frame.Src)
+			}
+		}
+		n.k.After(n.cost.HostNotify, func() {
+			frame.Stamps.HostRecvDone = n.k.Now()
+			if n.opts.OnDeliver != nil {
+				n.opts.OnDeliver(frame)
+			}
+		})
+	})
+}
+
+// ackValue returns the cumulative ack to advertise to `to`: the NIC-accept
+// horizon under reliable delivery, or the host-deposit horizon under
+// reliable reception.
+func (n *NIC) ackValue(to topology.NodeID) (uint32, uint64, bool) {
+	if n.snd.Config().ReliableReception {
+		m := n.deposited[to]
+		return m.gen, m.seq, m.valid
+	}
+	return n.rcv.CumAck(to)
+}
+
+// sendAck emits an explicit cumulative acknowledgment to `to`.
+func (n *NIC) sendAck(to topology.NodeID) {
+	gen, seq, ok := n.ackValue(to)
+	if !ok {
+		return
+	}
+	n.cancelDelayedAck(to)
+	n.rcv.AckEmitted(to)
+	n.cpu.Submit(n.cost.AckSendCost, func() {
+		n.ctr.Inc("acks-sent", 1)
+		n.emit(trace.EvAckTx, to, gen, seq)
+		ack := &proto.Frame{
+			Type:   proto.FrameAck,
+			Dst:    to,
+			HasAck: true,
+			AckGen: gen,
+			AckSeq: seq,
+		}
+		n.SendControl(ack, nil)
+	})
+}
+
+// armDelayedAck starts the piggyback-or-explicit delayed ack timer for src
+// if it is not already running.
+func (n *NIC) armDelayedAck(src topology.NodeID) {
+	if t, ok := n.delayedAck[src]; ok && t.Pending() {
+		return
+	}
+	n.delayedAck[src] = n.k.After(n.snd.Config().DelayedAck, func() {
+		delete(n.delayedAck, src)
+		if n.rcv.PendingAck(src) {
+			n.sendAck(src)
+		}
+	})
+}
+
+func (n *NIC) cancelDelayedAck(src topology.NodeID) {
+	if t, ok := n.delayedAck[src]; ok {
+		t.Cancel()
+		delete(n.delayedAck, src)
+	}
+}
+
+// answerHostProbe replies to a mapping probe with this host's identity,
+// along the probe's return route. Pure firmware behavior: the host never
+// sees probes.
+func (n *NIC) answerHostProbe(frame *proto.Frame) {
+	if frame.Probe == nil {
+		return
+	}
+	n.ctr.Inc("probes-answered", 1)
+	reply := &proto.Frame{
+		Type: proto.FrameHostProbeReply,
+		Dst:  frame.Probe.Mapper,
+		Probe: &proto.ProbePayload{
+			ProbeID:   frame.Probe.ProbeID,
+			Mapper:    frame.Probe.Mapper,
+			ReplierID: n.node,
+		},
+	}
+	n.SendControl(reply, frame.Probe.ReturnRoute)
+}
+
+// ---------------------------------------------------------------------------
+// Remapping support (used by the mapping layer)
+// ---------------------------------------------------------------------------
+
+// ResetPath installs a new route for dst, starts a new sequence generation,
+// and re-enqueues every pending packet under the new numbering (§4.2).
+func (n *NIC) ResetPath(dst topology.NodeID, route routing.Route) {
+	if !n.ft {
+		n.SetRoute(dst, route)
+		return
+	}
+	n.SetRoute(dst, route)
+	entries := n.snd.ResetGeneration(dst, n.k.Now())
+	for _, e := range entries {
+		orig, ok := e.Payload.(*proto.Frame)
+		if !ok {
+			continue
+		}
+		f := *orig
+		f.Gen = e.Gen
+		f.Seq = e.Seq
+		f.HasAck = false
+		f.Retransmitted = true
+		e.Payload = &f
+		e.InFlight++
+		n.enqueueTX(txItem{frame: &f, entry: e}, false)
+	}
+	n.ctr.Inc("path-resets", 1)
+	n.emit(trace.EvGenReset, dst, n.snd.Generation(dst), 0)
+}
+
+// MarkUnreachable drops all pending packets for dst and frees their
+// buffers; further traffic to dst is discarded until a route is installed.
+func (n *NIC) MarkUnreachable(dst topology.NodeID) {
+	delete(n.inRemap, dst)
+	n.RemoveRoute(dst)
+	if n.ft {
+		dropped := n.snd.MarkUnreachable(dst)
+		n.releaseBuffers(len(dropped))
+		n.ctr.Inc("pkts-dropped-unreachable", uint64(len(dropped)))
+		n.emit(trace.EvUnreachable, dst, 0, uint64(len(dropped)))
+	}
+}

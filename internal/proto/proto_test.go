@@ -1,0 +1,53 @@
+package proto
+
+import (
+	"testing"
+
+	"sanft/internal/routing"
+)
+
+func TestFrameTypeStrings(t *testing.T) {
+	cases := map[FrameType]string{
+		FrameData:           "data",
+		FrameAck:            "ack",
+		FrameHostProbe:      "host-probe",
+		FrameHostProbeReply: "host-probe-reply",
+		FrameEchoProbe:      "echo-probe",
+		FrameRouteUpdate:    "route-update",
+		FrameType(99):       "unknown",
+	}
+	for ft, want := range cases {
+		if got := ft.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", ft, got, want)
+		}
+	}
+}
+
+func TestAckLevelStrings(t *testing.T) {
+	cases := map[AckLevel]string{
+		AckNone:      "none",
+		AckDelayed:   "delayed",
+		AckImmediate: "immediate",
+		AckLevel(9):  "unknown",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", l, got, want)
+		}
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	f := &Frame{Type: FrameAck}
+	if f.WireSize() != HeaderBytes {
+		t.Fatalf("ack size = %d, want header %d", f.WireSize(), HeaderBytes)
+	}
+	f = &Frame{Type: FrameData, Data: &DataPayload{Data: make([]byte, 100)}}
+	if f.WireSize() != HeaderBytes+100 {
+		t.Fatalf("data size = %d, want %d", f.WireSize(), HeaderBytes+100)
+	}
+	f = &Frame{Type: FrameHostProbe, Probe: &ProbePayload{ReturnRoute: routing.Route{1, 2, 3}}}
+	if f.WireSize() != HeaderBytes+8+3 {
+		t.Fatalf("probe size = %d, want %d", f.WireSize(), HeaderBytes+11)
+	}
+}

@@ -1,0 +1,406 @@
+// Package retrans implements the paper's firmware-level retransmission
+// protocol (§4.1): the primary contribution for tolerating transient
+// network failures.
+//
+// Protocol summary, as specified by the paper:
+//
+//   - Every data packet carries a sequence number, assigned per DESTINATION
+//     NODE (not per connection) — one retransmission queue per remote node
+//     keeps firmware memory proportional to cluster size.
+//   - After transmission a packet's buffer is not freed; it moves to the
+//     node's retransmission queue (zero copies — the send buffer IS the
+//     retransmission buffer).
+//   - Acknowledgments are cumulative: one ack frees every packet up to and
+//     including its sequence number. There are no NACKs and no receiver
+//     buffering: a receiver that misses sequence number n drops every
+//     subsequent packet from that node until n arrives.
+//   - One periodic timer per NIC (not per packet, unlike AM-II) scans the
+//     retransmission queues; a queue whose oldest transmitted packet has
+//     not been acknowledged within the interval is retransmitted in full,
+//     in order (go-back-N).
+//   - Optimizations (§4.1.2): acks piggyback on reverse data traffic;
+//     a single ack covers a run of packets; and sender-based feedback sets
+//     a per-packet ack-request level based on free send-buffer space, so
+//     ack frequency adapts to resource pressure.
+//   - Generations (§4.2): when a path is remapped after a permanent
+//     failure, the sender bumps the generation number and renumbers its
+//     queued packets from zero; receivers drop frames from older
+//     generations, which cleanly separates packet lifetimes across
+//     remappings.
+//
+// The package is pure protocol state: it takes the current time as an
+// argument and returns decisions; the NIC model (internal/nic) binds it to
+// simulated hardware. This keeps every protocol rule unit-testable without
+// a network.
+package retrans
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sanft/internal/proto"
+	"sanft/internal/sim"
+	"sanft/internal/topology"
+)
+
+// Config holds the protocol parameters studied in the paper (Table 1).
+type Config struct {
+	// QueueSize is the number of NIC send buffers (q): the maximum
+	// packets in flight (unacknowledged) across all destinations.
+	QueueSize int
+	// Interval is the retransmission timer period (T).
+	Interval time.Duration
+	// AckEveryDiv sets the "plenty of buffers" ack-request period:
+	// a delayed ack is requested every max(1, QueueSize/AckEveryDiv)
+	// packets when more than 3/4 of the buffers are free. Default 4.
+	AckEveryDiv int
+	// DelayedAck is how long a receiver holds a requested ack hoping to
+	// piggyback it on reverse data before sending it explicitly.
+	// Default 30µs.
+	DelayedAck time.Duration
+	// NoPiggyback disables piggybacked acknowledgments (ablation: every
+	// ack is an explicit frame).
+	NoPiggyback bool
+	// FixedAckEvery, when positive, replaces sender-based feedback with
+	// a fixed policy: request a delayed ack every N-th packet regardless
+	// of buffer pressure (ablation for the Figure 8 discussion).
+	FixedAckEvery int
+	// ReliableReception upgrades acknowledgment semantics from the VI
+	// specification's "reliable delivery" (ack once the receiving NIC
+	// has accepted the packet — this system's default, like the paper's)
+	// to "reliable reception": acknowledge only after the data has been
+	// deposited into host memory. Extension experiment; see
+	// RunReliabilityLevels.
+	ReliableReception bool
+	// PermFailThreshold distinguishes transient from permanent failures:
+	// a destination with queued packets and no acknowledgment progress
+	// for this long is reported by StalePaths. Zero disables detection
+	// (every failure is treated as transient). Default in the full
+	// system: 250ms.
+	PermFailThreshold time.Duration
+}
+
+// Defaults fills zero fields with the paper's best-compromise values.
+func (c Config) Defaults() Config {
+	if c.QueueSize == 0 {
+		c.QueueSize = 32
+	}
+	if c.Interval == 0 {
+		c.Interval = time.Millisecond
+	}
+	if c.AckEveryDiv == 0 {
+		c.AckEveryDiv = 4
+	}
+	if c.DelayedAck == 0 {
+		c.DelayedAck = 30 * time.Microsecond
+	}
+	return c
+}
+
+// Entry is one unacknowledged packet parked in a retransmission queue. The
+// NIC keeps the actual buffer; Payload is its handle.
+type Entry struct {
+	Dst     topology.NodeID
+	Gen     uint32
+	Seq     uint64
+	Size    int
+	Payload any
+
+	// Sent is true once the packet has been transmitted at least once
+	// (or consumed by send-side error injection). Unsent entries are
+	// still in the NIC transmit queue and are never retransmitted.
+	Sent     bool
+	LastSent sim.Time
+	// InFlight counts copies of the packet currently sitting in the NIC
+	// transmit queue or streaming onto the wire. The timer never
+	// re-batches an in-flight entry: when the head of a path is blocked
+	// (e.g. a wormhole deadlock waiting out the watchdog), re-queueing
+	// the packets behind it would grow the transmit queue without bound
+	// and keep the network saturated with doomed worms forever. A
+	// counter (not a bool) because a generation reset can briefly put a
+	// second copy in the queue while a stale one is still draining.
+	InFlight int
+	// Retransmits counts how many times the entry has been resent.
+	Retransmits int
+}
+
+type destState struct {
+	nextSeq      uint64
+	gen          uint32
+	queue        []*Entry // unacked, ascending seq
+	lastProgress sim.Time // last ack that freed something (or creation)
+	sinceAckReq  int      // packets since an ack was last requested
+	unreachable  bool
+}
+
+// Sender is the send side of the protocol for one NIC.
+type Sender struct {
+	cfg   Config
+	dests map[topology.NodeID]*destState
+
+	// Counters.
+	Prepared      uint64
+	Acked         uint64
+	RetransBursts uint64
+	RetransPkts   uint64
+}
+
+// NewSender returns a Sender with the given configuration (zero fields
+// defaulted).
+func NewSender(cfg Config) *Sender {
+	cfg = cfg.Defaults()
+	if cfg.QueueSize < 1 {
+		panic(fmt.Sprintf("retrans: queue size %d < 1", cfg.QueueSize))
+	}
+	return &Sender{cfg: cfg, dests: make(map[topology.NodeID]*destState)}
+}
+
+// Config returns the sender's configuration.
+func (s *Sender) Config() Config { return s.cfg }
+
+func (s *Sender) dest(dst topology.NodeID, now sim.Time) *destState {
+	d := s.dests[dst]
+	if d == nil {
+		d = &destState{lastProgress: now}
+		s.dests[dst] = d
+	}
+	return d
+}
+
+// Prepare assigns the next (generation, sequence) pair for a packet to dst,
+// appends its entry to the retransmission queue, and decides the ack-
+// request level using sender-based feedback given the current free buffer
+// count. The caller must have reserved a send buffer already.
+func (s *Sender) Prepare(dst topology.NodeID, now sim.Time, freeBuffers int, payload any, size int) *Entry {
+	d := s.dest(dst, now)
+	d.unreachable = false
+	e := &Entry{
+		Dst:     dst,
+		Gen:     d.gen,
+		Seq:     d.nextSeq,
+		Size:    size,
+		Payload: payload,
+	}
+	d.nextSeq++
+	d.queue = append(d.queue, e)
+	s.Prepared++
+	return e
+}
+
+// AckRequestFor computes the sender-based-feedback ack level for an entry
+// about to be transmitted for the first time (§4.1.2): nearly out of
+// buffers → immediate explicit ack; under moderate pressure → delayed
+// (piggyback-or-timeout) ack; plenty of buffers → delayed ack every K-th
+// packet only.
+func (s *Sender) AckRequestFor(e *Entry, freeBuffers int) proto.AckLevel {
+	d := s.dests[e.Dst]
+	q := s.cfg.QueueSize
+	if s.cfg.FixedAckEvery > 0 {
+		// Ablation: fixed-period ack requests, no buffer feedback —
+		// except that a sender completely out of buffers still demands
+		// an immediate ack (otherwise it deadlocks against itself).
+		if freeBuffers == 0 {
+			d.sinceAckReq = 0
+			return proto.AckImmediate
+		}
+		d.sinceAckReq++
+		if d.sinceAckReq >= s.cfg.FixedAckEvery {
+			d.sinceAckReq = 0
+			return proto.AckDelayed
+		}
+		return proto.AckNone
+	}
+	switch {
+	case freeBuffers*4 <= q:
+		d.sinceAckReq = 0
+		return proto.AckImmediate
+	case freeBuffers*4 <= 3*q:
+		d.sinceAckReq = 0
+		return proto.AckDelayed
+	default:
+		d.sinceAckReq++
+		k := q / s.cfg.AckEveryDiv
+		if k < 1 {
+			k = 1
+		}
+		if d.sinceAckReq >= k {
+			d.sinceAckReq = 0
+			return proto.AckDelayed
+		}
+		return proto.AckNone
+	}
+}
+
+// OnTransmitted records that entry e reached the wire (or was consumed by
+// send-side error injection, which the paper's methodology treats
+// identically).
+func (s *Sender) OnTransmitted(e *Entry, now sim.Time) {
+	e.Sent = true
+	e.LastSent = now
+}
+
+// OnAck processes a cumulative acknowledgment from dst covering every
+// sequence number ≤ ackSeq of generation ackGen. It returns the freed
+// entries (whose buffers the NIC may recycle). Stale-generation acks free
+// nothing.
+func (s *Sender) OnAck(dst topology.NodeID, ackGen uint32, ackSeq uint64, now sim.Time) []*Entry {
+	d := s.dests[dst]
+	if d == nil || ackGen != d.gen {
+		return nil
+	}
+	i := 0
+	for i < len(d.queue) && d.queue[i].Seq <= ackSeq {
+		i++
+	}
+	if i == 0 {
+		return nil
+	}
+	freed := d.queue[:i:i]
+	d.queue = d.queue[i:]
+	d.lastProgress = now
+	s.Acked += uint64(len(freed))
+	return freed
+}
+
+// Batch is a go-back-N retransmission order for one destination: resend
+// Entries in order. The last entry of a batch should request an immediate
+// ack so the sender resynchronizes quickly.
+type Batch struct {
+	Dst     topology.NodeID
+	Entries []*Entry
+}
+
+// Tick runs the single periodic retransmission timer: for every
+// destination whose oldest transmitted packet has gone unacknowledged for
+// at least the interval, it returns the full ordered list of transmitted
+// packets to resend (go-back-N). Entries' LastSent are updated to now;
+// the NIC must transmit them (ahead of any queued new packets for the same
+// destination, to preserve wire order).
+func (s *Sender) Tick(now sim.Time) []Batch {
+	var out []Batch
+	dsts := s.destIDs()
+	for _, dst := range dsts {
+		d := s.dests[dst]
+		if len(d.queue) == 0 || d.unreachable {
+			continue
+		}
+		head := d.queue[0]
+		if !head.Sent || head.InFlight > 0 || now.Sub(head.LastSent) < s.cfg.Interval {
+			continue
+		}
+		var batch []*Entry
+		for _, e := range d.queue {
+			if !e.Sent || e.InFlight > 0 {
+				break // still queued at the NIC or on the wire
+			}
+			e.LastSent = now
+			e.Retransmits++
+			batch = append(batch, e)
+		}
+		if len(batch) > 0 {
+			s.RetransBursts++
+			s.RetransPkts += uint64(len(batch))
+			out = append(out, Batch{Dst: dst, Entries: batch})
+		}
+	}
+	return out
+}
+
+// destIDs returns destination IDs in ascending order for determinism.
+func (s *Sender) destIDs() []topology.NodeID {
+	ids := make([]topology.NodeID, 0, len(s.dests))
+	for id := range s.dests {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Unacked returns the number of entries queued for dst.
+func (s *Sender) Unacked(dst topology.NodeID) int {
+	d := s.dests[dst]
+	if d == nil {
+		return 0
+	}
+	return len(d.queue)
+}
+
+// TotalUnacked returns the number of entries queued across all
+// destinations — the number of send buffers in use.
+func (s *Sender) TotalUnacked() int {
+	t := 0
+	for _, d := range s.dests {
+		t += len(d.queue)
+	}
+	return t
+}
+
+// StalePaths returns destinations that look permanently failed: queued
+// packets with no acknowledgment progress for PermFailThreshold. Returns
+// nil when detection is disabled.
+func (s *Sender) StalePaths(now sim.Time) []topology.NodeID {
+	if s.cfg.PermFailThreshold == 0 {
+		return nil
+	}
+	var out []topology.NodeID
+	for _, dst := range s.destIDs() {
+		d := s.dests[dst]
+		if len(d.queue) == 0 || d.unreachable {
+			continue
+		}
+		if d.queue[0].Sent && now.Sub(d.lastProgress) >= s.cfg.PermFailThreshold {
+			out = append(out, dst)
+		}
+	}
+	return out
+}
+
+// ResetGeneration starts a new sequence generation for dst after a
+// successful remap (§4.2): queued packets are renumbered from zero under
+// the new generation and marked unsent; the NIC must re-enqueue them for
+// transmission. Returns the renumbered entries in order.
+func (s *Sender) ResetGeneration(dst topology.NodeID, now sim.Time) []*Entry {
+	d := s.dest(dst, now)
+	d.gen++
+	d.nextSeq = uint64(len(d.queue))
+	d.lastProgress = now
+	d.sinceAckReq = 0
+	d.unreachable = false
+	for i, e := range d.queue {
+		e.Gen = d.gen
+		e.Seq = uint64(i)
+		e.Sent = false
+		e.LastSent = 0
+	}
+	return append([]*Entry(nil), d.queue...)
+}
+
+// Generation returns the current sequence generation for dst.
+func (s *Sender) Generation(dst topology.NodeID) uint32 {
+	if d := s.dests[dst]; d != nil {
+		return d.gen
+	}
+	return 0
+}
+
+// MarkUnreachable drops every pending packet for dst (the paper: "if no
+// alternative route to a node exists, the node is labeled as unreachable
+// and any pending packets are dropped") and returns the dropped entries so
+// the NIC can free their buffers.
+func (s *Sender) MarkUnreachable(dst topology.NodeID) []*Entry {
+	d := s.dests[dst]
+	if d == nil {
+		return nil
+	}
+	dropped := d.queue
+	d.queue = nil
+	d.unreachable = true
+	return dropped
+}
+
+// Unreachable reports whether dst is currently marked unreachable.
+func (s *Sender) Unreachable(dst topology.NodeID) bool {
+	d := s.dests[dst]
+	return d != nil && d.unreachable
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures raw event dispatch rate.
+func BenchmarkEventThroughput(b *testing.B) {
+	k := New(1)
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			k.After(time.Microsecond, fn)
+		}
+	}
+	k.After(time.Microsecond, fn)
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkHeapChurn measures scheduling with many pending events.
+func BenchmarkHeapChurn(b *testing.B) {
+	k := New(1)
+	for i := 0; i < 1000; i++ {
+		k.After(time.Duration(i+1)*time.Second, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := k.After(time.Millisecond, func() {})
+		t.Cancel()
+	}
+}
+
+// BenchmarkProcHandoff measures the coroutine context-switch cost.
+func BenchmarkProcHandoff(b *testing.B) {
+	k := New(1)
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkResource measures the FIFO-server fast path.
+func BenchmarkResource(b *testing.B) {
+	k := New(1)
+	r := NewResource(k, "cpu")
+	n := 0
+	var submit func()
+	submit = func() {
+		n++
+		if n < b.N {
+			r.Submit(time.Microsecond, submit)
+		}
+	}
+	r.Submit(time.Microsecond, submit)
+	b.ResetTimer()
+	k.Run()
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// event is a scheduled callback. Events with equal times execute in
+// scheduling order (seq breaks ties), which keeps runs deterministic.
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the timer's callback from running. Cancelling an already
+// fired or already cancelled timer is a no-op. Reports whether the timer was
+// still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.index == -1 {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the timer has neither fired nor been cancelled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && t.ev.index != -1
+}
+
+// Kernel is a discrete-event simulation engine. It is not safe for
+// concurrent use: all simulation code runs on a single logical thread
+// (the caller of Run, plus Procs which execute one at a time by handoff).
+type Kernel struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+
+	procs     map[*Proc]struct{} // live procs, for shutdown
+	executed  uint64             // events executed, for diagnostics
+	inProcRun bool
+}
+
+// New returns a kernel with its clock at zero and an RNG seeded with seed.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		rng:   rand.New(rand.NewSource(seed)),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Executed returns the number of events executed so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events not yet reaped).
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error in simulation logic and panics.
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	ev := &event{at: t, seq: k.seq, fn: fn}
+	heap.Push(&k.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (k *Kernel) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Immediately schedules fn to run at the current time, after all events
+// already scheduled for this instant.
+func (k *Kernel) Immediately(fn func()) *Timer { return k.At(k.now, fn) }
+
+// Step executes the next pending event. It reports false when no events
+// remain or the kernel has been stopped.
+func (k *Kernel) Step() bool {
+	for len(k.events) > 0 && !k.stopped {
+		ev := heap.Pop(&k.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		k.now = ev.at
+		k.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain (or Stop is called). It returns the
+// final simulated time.
+func (k *Kernel) Run() Time {
+	for k.Step() {
+	}
+	return k.now
+}
+
+// RunUntil executes events with time ≤ t, then sets the clock to t.
+// Events scheduled exactly at t do execute.
+func (k *Kernel) RunUntil(t Time) {
+	for !k.stopped && len(k.events) > 0 {
+		next := k.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		k.Step()
+	}
+	if !k.stopped && k.now < t {
+		k.now = t
+	}
+}
+
+// RunFor advances the simulation by duration d.
+func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now.Add(d)) }
+
+func (k *Kernel) peek() *event {
+	for len(k.events) > 0 {
+		if k.events[0].cancelled {
+			heap.Pop(&k.events)
+			continue
+		}
+		return k.events[0]
+	}
+	return nil
+}
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Stop halts the simulation: no further events execute, and every parked
+// Proc is terminated (its goroutine unwinds via panic recovered by the
+// kernel). Call Stop when abandoning a kernel that has live Procs, so their
+// goroutines do not leak.
+func (k *Kernel) Stop() {
+	if k.stopped {
+		return
+	}
+	k.stopped = true
+	for p := range k.procs {
+		if p.parked {
+			p.kill()
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := New(1)
+	var order []int
+	k.After(30*Microsecond, func() { order = append(order, 3) })
+	k.After(10*Microsecond, func() { order = append(order, 1) })
+	k.After(20*Microsecond, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events executed out of order: %v", order)
+	}
+	if k.Now() != Time(30*Microsecond) {
+		t.Fatalf("final time = %v, want 30µs", k.Now())
+	}
+}
+
+func TestKernelSameTimeFIFO(t *testing.T) {
+	k := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.After(5*Microsecond, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := New(1)
+	var hits []string
+	k.After(time.Microsecond, func() {
+		hits = append(hits, "a")
+		k.After(time.Microsecond, func() { hits = append(hits, "c") })
+		k.Immediately(func() { hits = append(hits, "b") })
+	})
+	k.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if i >= len(hits) || hits[i] != want[i] {
+			t.Fatalf("hits = %v, want %v", hits, want)
+		}
+	}
+}
+
+func TestKernelPastSchedulingPanics(t *testing.T) {
+	k := New(1)
+	k.After(time.Millisecond, func() {})
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	k.At(Time(time.Microsecond), func() {})
+}
+
+func TestTimerCancel(t *testing.T) {
+	k := New(1)
+	fired := false
+	tm := k.After(time.Millisecond, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if !tm.Cancel() {
+		t.Fatal("first cancel should succeed")
+	}
+	if tm.Cancel() {
+		t.Fatal("second cancel should fail")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTimerCancelAfterFire(t *testing.T) {
+	k := New(1)
+	tm := k.After(time.Microsecond, func() {})
+	k.Run()
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	if tm.Cancel() {
+		t.Fatal("cancel after fire should report false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New(1)
+	var fired []int
+	k.After(10*Microsecond, func() { fired = append(fired, 1) })
+	k.After(20*Microsecond, func() { fired = append(fired, 2) })
+	k.After(30*Microsecond, func() { fired = append(fired, 3) })
+	k.RunUntil(Time(20 * Microsecond))
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want events at 10µs and 20µs", fired)
+	}
+	if k.Now() != Time(20*Microsecond) {
+		t.Fatalf("now = %v, want 20µs", k.Now())
+	}
+	k.RunFor(10 * Microsecond)
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v after RunFor, want 3 events", fired)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	k := New(1)
+	k.RunUntil(Time(time.Second))
+	if k.Now() != Time(time.Second) {
+		t.Fatalf("now = %v, want 1s", k.Now())
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	k := New(1)
+	var wake Time
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(15 * Microsecond)
+		wake = p.Now()
+	})
+	k.Run()
+	if wake != Time(15*Microsecond) {
+		t.Fatalf("woke at %v, want 15µs", wake)
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	k := New(1)
+	var trace []string
+	k.Spawn("a", func(p *Proc) {
+		trace = append(trace, "a0")
+		p.Sleep(10 * Microsecond)
+		trace = append(trace, "a1")
+		p.Sleep(20 * Microsecond)
+		trace = append(trace, "a2")
+	})
+	k.Spawn("b", func(p *Proc) {
+		trace = append(trace, "b0")
+		p.Sleep(15 * Microsecond)
+		trace = append(trace, "b1")
+	})
+	k.Run()
+	want := []string{"a0", "b0", "a1", "b1", "a2"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestGateSignalBroadcast(t *testing.T) {
+	k := New(1)
+	var g Gate
+	woken := make(map[string]Time)
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		k.Spawn(name, func(p *Proc) {
+			g.Wait(p)
+			woken[name] = p.Now()
+		})
+	}
+	k.Spawn("signaler", func(p *Proc) {
+		p.Sleep(10 * Microsecond)
+		g.Signal() // wakes w1 only
+		p.Sleep(10 * Microsecond)
+		g.Broadcast() // wakes w2, w3
+	})
+	k.Run()
+	if woken["w1"] != Time(10*Microsecond) {
+		t.Fatalf("w1 woke at %v, want 10µs", woken["w1"])
+	}
+	if woken["w2"] != Time(20*Microsecond) || woken["w3"] != Time(20*Microsecond) {
+		t.Fatalf("w2/w3 woke at %v/%v, want 20µs", woken["w2"], woken["w3"])
+	}
+}
+
+func TestGateWaitTimeout(t *testing.T) {
+	k := New(1)
+	var g Gate
+	var gotSignal, gotTimeout bool
+	k.Spawn("timeouter", func(p *Proc) {
+		gotTimeout = !g.WaitTimeout(p, 5*Microsecond)
+	})
+	k.Spawn("signaled", func(p *Proc) {
+		p.Sleep(6 * Microsecond) // waits after the first proc timed out
+		gotSignal = g.WaitTimeout(p, time.Second)
+	})
+	k.Spawn("signaler", func(p *Proc) {
+		p.Sleep(10 * Microsecond)
+		g.Signal()
+	})
+	k.Run()
+	if !gotTimeout {
+		t.Fatal("first waiter should have timed out")
+	}
+	if !gotSignal {
+		t.Fatal("second waiter should have been signaled")
+	}
+}
+
+func TestGateSignalTimeoutRace(t *testing.T) {
+	// Signal scheduled at exactly the timeout instant must not double-wake.
+	k := New(1)
+	var g Gate
+	wokenCount := 0
+	k.Spawn("racer", func(p *Proc) {
+		g.WaitTimeout(p, 10*Microsecond)
+		wokenCount++
+		p.Sleep(time.Millisecond)
+	})
+	k.After(10*Microsecond, func() { g.Signal() })
+	k.Run()
+	if wokenCount != 1 {
+		t.Fatalf("woken %d times, want exactly 1", wokenCount)
+	}
+}
+
+func TestMailbox(t *testing.T) {
+	k := New(1)
+	var mb Mailbox
+	var got []int
+	k.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Get(p).(int))
+		}
+	})
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10 * Microsecond)
+			mb.Put(i)
+		}
+	})
+	k.Run()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("got %v, want [0 1 2]", got)
+	}
+}
+
+func TestMailboxGetTimeout(t *testing.T) {
+	k := New(1)
+	var mb Mailbox
+	var ok1, ok2 bool
+	k.Spawn("consumer", func(p *Proc) {
+		_, ok1 = mb.GetTimeout(p, 5*Microsecond)
+		_, ok2 = mb.GetTimeout(p, 20*Microsecond)
+	})
+	k.After(10*Microsecond, func() { mb.Put("late") })
+	k.Run()
+	if ok1 {
+		t.Fatal("first receive should time out (message arrives at 10µs)")
+	}
+	if !ok2 {
+		t.Fatal("second receive should get the message")
+	}
+}
+
+func TestKernelStopKillsParkedProcs(t *testing.T) {
+	k := New(1)
+	var g Gate
+	reached := false
+	k.Spawn("stuck", func(p *Proc) {
+		g.Wait(p) // never signaled
+		reached = true
+	})
+	k.RunFor(time.Millisecond)
+	k.Stop()
+	if reached {
+		t.Fatal("proc body continued past a never-signaled gate")
+	}
+	if k.Step() {
+		t.Fatal("stopped kernel executed an event")
+	}
+}
+
+func TestResourceFIFOAndTiming(t *testing.T) {
+	k := New(1)
+	r := NewResource(k, "cpu")
+	var done []Time
+	record := func() { done = append(done, k.Now()) }
+	r.Submit(10*Microsecond, record)
+	r.Submit(5*Microsecond, record)
+	r.Submit(1*Microsecond, record)
+	k.Run()
+	want := []Time{Time(10 * Microsecond), Time(15 * Microsecond), Time(16 * Microsecond)}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completion times %v, want %v", done, want)
+		}
+	}
+	if r.Served() != 3 {
+		t.Fatalf("served = %d, want 3", r.Served())
+	}
+	if r.BusyTime() != 16*Microsecond {
+		t.Fatalf("busy time = %v, want 16µs", r.BusyTime())
+	}
+}
+
+func TestResourceSubmitBytes(t *testing.T) {
+	k := New(1)
+	r := NewResource(k, "dma")
+	var at Time
+	// 1000 bytes at 1e9 B/s = 1µs, plus 1µs setup.
+	r.SubmitBytes(1000, 1e9, time.Microsecond, func() { at = k.Now() })
+	k.Run()
+	if at != Time(2*Microsecond) {
+		t.Fatalf("completed at %v, want 2µs", at)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	k := New(1)
+	r := NewResource(k, "cpu")
+	r.Submit(25*Microsecond, nil)
+	k.RunUntil(Time(100 * Microsecond))
+	if u := r.Utilization(); u < 0.24 || u > 0.26 {
+		t.Fatalf("utilization = %v, want 0.25", u)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		k := New(42)
+		var samples []int64
+		for i := 0; i < 5; i++ {
+			d := time.Duration(k.Rand().Intn(1000)) * Microsecond
+			k.After(d, func() { samples = append(samples, int64(k.Now())) })
+		}
+		k.Run()
+		return samples
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestTimePropertyAddSub(t *testing.T) {
+	f := func(base int32, delta int32) bool {
+		tm := Time(int64(base) * 1000)
+		d := time.Duration(delta)
+		if d < 0 {
+			d = -d
+		}
+		return tm.Add(d).Sub(tm) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

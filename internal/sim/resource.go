@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Resource models a serialized hardware unit — a processor, a DMA engine, a
+// bus — as a FIFO single-server queue. Work items are submitted with a
+// service time; the resource executes them one at a time in submission
+// order and invokes each item's completion callback when its service time
+// has elapsed.
+//
+// Resource accumulates busy time, so utilization can be reported after a
+// run.
+type Resource struct {
+	k    *Kernel
+	name string
+
+	busy      bool
+	queue     []resWork
+	busyNS    time.Duration
+	served    uint64
+	lastStart Time
+}
+
+type resWork struct {
+	service time.Duration
+	done    func()
+}
+
+// NewResource returns an idle resource attached to kernel k.
+func NewResource(k *Kernel, name string) *Resource {
+	return &Resource{k: k, name: name}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Submit enqueues a work item requiring the given service time. done runs
+// (in event context) when the item completes. done may be nil.
+func (r *Resource) Submit(service time.Duration, done func()) {
+	if service < 0 {
+		panic(fmt.Sprintf("sim: resource %s: negative service time %v", r.name, service))
+	}
+	r.queue = append(r.queue, resWork{service: service, done: done})
+	if !r.busy {
+		r.startNext()
+	}
+}
+
+// SubmitBytes enqueues a transfer of n bytes at rate bytes/sec plus a fixed
+// setup time; a convenience for modeling DMA engines and buses.
+func (r *Resource) SubmitBytes(n int, rate float64, setup time.Duration, done func()) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("sim: resource %s: non-positive rate %v", r.name, rate))
+	}
+	xfer := time.Duration(float64(n) / rate * 1e9)
+	r.Submit(setup+xfer, done)
+}
+
+func (r *Resource) startNext() {
+	if len(r.queue) == 0 {
+		r.busy = false
+		return
+	}
+	w := r.queue[0]
+	r.queue = r.queue[1:]
+	r.busy = true
+	r.lastStart = r.k.Now()
+	r.k.After(w.service, func() {
+		r.busyNS += w.service
+		r.served++
+		if w.done != nil {
+			w.done()
+		}
+		r.startNext()
+	})
+}
+
+// Busy reports whether the resource is currently serving an item.
+func (r *Resource) Busy() bool { return r.busy }
+
+// QueueLen returns the number of items waiting (not including the one in
+// service).
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Served returns the number of completed work items.
+func (r *Resource) Served() uint64 { return r.served }
+
+// BusyTime returns the total time the resource has spent serving items.
+func (r *Resource) BusyTime() time.Duration { return r.busyNS }
+
+// Utilization returns the fraction of simulated time the resource was busy,
+// over the window from simulation start to now.
+func (r *Resource) Utilization() float64 {
+	now := r.k.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(r.busyNS) / float64(now)
+}

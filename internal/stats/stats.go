@@ -1,0 +1,173 @@
+// Package stats provides the instrumentation used by the evaluation: the
+// five-stage latency breakdown of Figure 3, bandwidth meters, counters, and
+// simple log-scale histograms.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Breakdown is the paper's five-stage one-way latency decomposition
+// (Figure 3): host send, NIC send firmware, wire, NIC receive firmware,
+// host receive (DMA into host memory + notification).
+type Breakdown struct {
+	HostSend time.Duration
+	NICSend  time.Duration
+	Wire     time.Duration
+	NICRecv  time.Duration
+	HostRecv time.Duration
+}
+
+// Total returns the end-to-end one-way latency.
+func (b Breakdown) Total() time.Duration {
+	return b.HostSend + b.NICSend + b.Wire + b.NICRecv + b.HostRecv
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("host-send=%v nic-send=%v wire=%v nic-recv=%v host-recv=%v total=%v",
+		b.HostSend, b.NICSend, b.Wire, b.NICRecv, b.HostRecv, b.Total())
+}
+
+// BreakdownAvg accumulates breakdowns and reports their mean.
+type BreakdownAvg struct {
+	sum   Breakdown
+	count int
+}
+
+// Add accumulates one observation.
+func (a *BreakdownAvg) Add(b Breakdown) {
+	a.sum.HostSend += b.HostSend
+	a.sum.NICSend += b.NICSend
+	a.sum.Wire += b.Wire
+	a.sum.NICRecv += b.NICRecv
+	a.sum.HostRecv += b.HostRecv
+	a.count++
+}
+
+// Count returns the number of observations.
+func (a *BreakdownAvg) Count() int { return a.count }
+
+// Mean returns the component-wise average breakdown.
+func (a *BreakdownAvg) Mean() Breakdown {
+	if a.count == 0 {
+		return Breakdown{}
+	}
+	n := time.Duration(a.count)
+	return Breakdown{
+		HostSend: a.sum.HostSend / n,
+		NICSend:  a.sum.NICSend / n,
+		Wire:     a.sum.Wire / n,
+		NICRecv:  a.sum.NICRecv / n,
+		HostRecv: a.sum.HostRecv / n,
+	}
+}
+
+// Counters is a named event-count registry.
+type Counters struct {
+	m map[string]uint64
+}
+
+// NewCounters returns an empty registry.
+func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
+
+// Inc adds n to counter name.
+func (c *Counters) Inc(name string, n uint64) { c.m[name] += n }
+
+// Get returns counter name's value.
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Names returns all counter names, sorted.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for n := range c.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, n := range c.Names() {
+		fmt.Fprintf(&b, "%s=%d ", n, c.m[n])
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Bandwidth converts bytes over a duration to MB/s (decimal megabytes, as
+// the paper reports).
+func Bandwidth(bytes uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / 1e6
+}
+
+// Histogram is a power-of-two bucketed latency histogram.
+type Histogram struct {
+	buckets [64]uint64
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// Add records one duration.
+func (h *Histogram) Add(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b := 0
+	for v := int64(d); v > 1 && b < 63; v >>= 1 {
+		b++
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average of all samples.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest sample.
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) based on
+// bucket boundaries.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > target {
+			return time.Duration(int64(1) << uint(i))
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBreakdownTotalAndString(t *testing.T) {
+	b := Breakdown{
+		HostSend: 1 * time.Microsecond,
+		NICSend:  2 * time.Microsecond,
+		Wire:     3 * time.Microsecond,
+		NICRecv:  4 * time.Microsecond,
+		HostRecv: 5 * time.Microsecond,
+	}
+	if b.Total() != 15*time.Microsecond {
+		t.Fatalf("total = %v", b.Total())
+	}
+	s := b.String()
+	for _, want := range []string{"host-send", "wire", "total=15µs"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestBreakdownAvg(t *testing.T) {
+	var a BreakdownAvg
+	if a.Mean() != (Breakdown{}) {
+		t.Fatal("empty mean should be zero")
+	}
+	a.Add(Breakdown{HostSend: 2 * time.Microsecond})
+	a.Add(Breakdown{HostSend: 4 * time.Microsecond})
+	if a.Count() != 2 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if got := a.Mean().HostSend; got != 3*time.Microsecond {
+		t.Fatalf("mean host-send = %v, want 3µs", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Inc("a", 1)
+	c.Inc("b", 2)
+	c.Inc("a", 3)
+	if c.Get("a") != 4 || c.Get("b") != 2 || c.Get("missing") != 0 {
+		t.Fatalf("counters: %v", c)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	if s := c.String(); !strings.Contains(s, "a=4") || !strings.Contains(s, "b=2") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	// 100 MB over 1 second = 100 MB/s.
+	if got := Bandwidth(100e6, time.Second); got != 100 {
+		t.Fatalf("bandwidth = %v", got)
+	}
+	if got := Bandwidth(1000, 0); got != 0 {
+		t.Fatalf("zero-duration bandwidth = %v, want 0", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for _, d := range []time.Duration{time.Microsecond, 2 * time.Microsecond, 3 * time.Microsecond} {
+		h.Add(d)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 2*time.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != time.Microsecond || h.Max() != 3*time.Microsecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Add(time.Duration(i) * time.Microsecond)
+	}
+	// Bucketed upper bound: the median is ≈500µs; its bucket bound is
+	// 2^19ns ≈ 524µs.
+	q50 := h.Quantile(0.5)
+	if q50 < 256*time.Microsecond || q50 > 1100*time.Microsecond {
+		t.Fatalf("p50 = %v, want near 512µs bucket", q50)
+	}
+	if h.Quantile(0) > h.Quantile(0.99) {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Add(-time.Second)
+	if h.Min() != 0 {
+		t.Fatalf("negative sample not clamped: %v", h.Min())
+	}
+}
+
+func TestPropertyHistogramMeanWithinRange(t *testing.T) {
+	f := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, s := range samples {
+			h.Add(time.Duration(s))
+		}
+		return h.Mean() >= h.Min() && h.Mean() <= h.Max() && h.Count() == uint64(len(samples))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

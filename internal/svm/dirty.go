@@ -1,0 +1,57 @@
+package svm
+
+import "sort"
+
+// span is a half-open dirty byte range within one page.
+type span struct {
+	off, end int
+}
+
+// spanSet tracks dirty byte ranges of one page, coalescing overlaps. The
+// zero value is an empty set.
+type spanSet struct {
+	spans []span
+}
+
+// add marks [off, off+n) dirty.
+func (s *spanSet) add(off, n int) {
+	if n <= 0 {
+		return
+	}
+	ns := span{off, off + n}
+	// Insert keeping sorted order, then coalesce.
+	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].off >= ns.off })
+	s.spans = append(s.spans, span{})
+	copy(s.spans[i+1:], s.spans[i:])
+	s.spans[i] = ns
+	s.coalesce()
+}
+
+func (s *spanSet) coalesce() {
+	out := s.spans[:0]
+	for _, sp := range s.spans {
+		if len(out) > 0 && sp.off <= out[len(out)-1].end {
+			if sp.end > out[len(out)-1].end {
+				out[len(out)-1].end = sp.end
+			}
+			continue
+		}
+		out = append(out, sp)
+	}
+	s.spans = out
+}
+
+// empty reports whether no bytes are dirty.
+func (s *spanSet) empty() bool { return len(s.spans) == 0 }
+
+// bytes returns the total dirty byte count.
+func (s *spanSet) bytes() int {
+	t := 0
+	for _, sp := range s.spans {
+		t += sp.end - sp.off
+	}
+	return t
+}
+
+// reset clears the set.
+func (s *spanSet) reset() { s.spans = s.spans[:0] }

@@ -1,0 +1,298 @@
+package svm
+
+import (
+	"testing"
+	"time"
+
+	"sanft/internal/core"
+	"sanft/internal/retrans"
+	"sanft/internal/topology"
+)
+
+func testSystem(t *testing.T, nNodes, ppn int, errRate float64, heap int) (*core.Cluster, *System) {
+	t.Helper()
+	nw, hosts := topology.Star(nNodes)
+	c := core.New(core.Config{
+		Net:       nw,
+		Hosts:     hosts,
+		FT:        true,
+		Retrans:   retrans.Config{QueueSize: 32, Interval: time.Millisecond},
+		ErrorRate: errRate,
+		Seed:      1,
+	})
+	s := New(c, hosts, Config{HeapBytes: heap, ProcsPerNode: ppn, NumLocks: 16})
+	s.Start()
+	return c, s
+}
+
+func runWorkers(t *testing.T, c *core.Cluster, s *System, bound time.Duration, body func(w *Worker)) *Run {
+	t.Helper()
+	run := s.SpawnWorkers(body)
+	c.RunFor(bound)
+	c.Stop()
+	if !run.Done() {
+		t.Fatal("workers did not finish within the time bound")
+	}
+	return run
+}
+
+func TestSpanSet(t *testing.T) {
+	var s spanSet
+	s.add(10, 5)
+	s.add(20, 5)
+	if len(s.spans) != 2 || s.bytes() != 10 {
+		t.Fatalf("spans = %+v", s.spans)
+	}
+	s.add(12, 10) // bridges the two
+	if len(s.spans) != 1 || s.spans[0] != (span{10, 25}) {
+		t.Fatalf("coalesce failed: %+v", s.spans)
+	}
+	s.add(0, 5)
+	if len(s.spans) != 2 {
+		t.Fatalf("disjoint prefix: %+v", s.spans)
+	}
+	s.reset()
+	if !s.empty() {
+		t.Fatal("reset not empty")
+	}
+}
+
+func TestBarrierSharing(t *testing.T) {
+	// Worker i writes a value; after a barrier, worker (i+1) mod P reads
+	// its neighbour's value.
+	c, s := testSystem(t, 4, 2, 0, 1<<20)
+	P := s.Workers()
+	errs := make([]string, P)
+	runWorkers(t, c, s, 10*time.Second, func(w *Worker) {
+		off := w.ID * PageSize // one page each, distinct homes
+		w.SetFloat64(off, float64(100+w.ID))
+		w.Barrier()
+		nb := (w.ID + 1) % P
+		got := w.Float64(nb * PageSize)
+		if got != float64(100+nb) {
+			errs[w.ID] = "stale read"
+		}
+		w.Barrier()
+	})
+	for i, e := range errs {
+		if e != "" {
+			t.Fatalf("worker %d: %s", i, e)
+		}
+	}
+}
+
+func TestFalseSharingMergesAtHome(t *testing.T) {
+	// All workers write disjoint slices of the SAME page; after the
+	// barrier everyone sees every write (diff spans, not whole pages).
+	c, s := testSystem(t, 4, 2, 0, 1<<20)
+	P := s.Workers()
+	var bad bool
+	runWorkers(t, c, s, 10*time.Second, func(w *Worker) {
+		w.SetUint32(w.ID*4, uint32(w.ID+1))
+		w.Barrier()
+		for j := 0; j < P; j++ {
+			if w.Uint32(j*4) != uint32(j+1) {
+				bad = true
+			}
+		}
+		w.Barrier()
+	})
+	if bad {
+		t.Fatal("false-sharing writes lost (diffs not merged)")
+	}
+}
+
+func TestLockMutualExclusionAndVisibility(t *testing.T) {
+	// Classic lock-protected counter: P workers × K increments each.
+	c, s := testSystem(t, 4, 2, 0, 1<<20)
+	P := s.Workers()
+	const K = 20
+	runWorkers(t, c, s, 30*time.Second, func(w *Worker) {
+		for i := 0; i < K; i++ {
+			w.Lock(3)
+			v := w.Uint32(0)
+			w.SetUint32(0, v+1)
+			w.Unlock(3)
+		}
+		w.Barrier()
+		if got := w.Uint32(0); got != uint32(P*K) {
+			panic("lost update")
+		}
+		w.Barrier()
+	})
+}
+
+func TestLockContentionFIFOProgress(t *testing.T) {
+	// Heavy contention on one remote lock still makes progress and
+	// accumulates Lock time.
+	c, s := testSystem(t, 2, 2, 0, 1<<18)
+	run := runWorkers(t, c, s, 30*time.Second, func(w *Worker) {
+		for i := 0; i < 10; i++ {
+			w.Lock(1) // homed on node 1
+			w.Compute(50 * time.Microsecond)
+			w.Unlock(1)
+		}
+	})
+	lockTime := time.Duration(0)
+	for _, b := range run.Breakdowns {
+		lockTime += b.Lock
+	}
+	if lockTime == 0 {
+		t.Fatal("no lock time recorded under contention")
+	}
+}
+
+func TestBreakdownAccounting(t *testing.T) {
+	c, s := testSystem(t, 2, 1, 0, 1<<20)
+	run := runWorkers(t, c, s, 10*time.Second, func(w *Worker) {
+		w.Compute(time.Millisecond)
+		if w.ID == 0 {
+			// Touch a remote-homed page: page 1 homes on node 1.
+			w.SetFloat64(1*PageSize, 42)
+		}
+		w.Barrier()
+		if w.ID == 1 {
+			_ = w.Float64(0) // page 0 homes on node 0: remote for w1
+		}
+		w.Barrier()
+	})
+	b0 := run.Breakdowns[0]
+	if b0.Compute < time.Millisecond {
+		t.Fatalf("compute %v < 1ms", b0.Compute)
+	}
+	if b0.Data == 0 {
+		t.Fatal("worker 0 should have Data time (diff flush of remote page)")
+	}
+	if run.Breakdowns[1].Data == 0 {
+		t.Fatal("worker 1 should have Data time (remote page fetch)")
+	}
+	if b0.Barrier == 0 {
+		t.Fatal("no barrier time recorded")
+	}
+	if run.Elapsed() <= 0 {
+		t.Fatal("elapsed not positive")
+	}
+}
+
+func TestSVMSurvivesTransientErrors(t *testing.T) {
+	// The whole SVM protocol stack must be oblivious to a 1e-2 error
+	// rate (every ~100th packet silently dropped at the send side).
+	c, s := testSystem(t, 4, 2, 1e-2, 1<<20)
+	P := s.Workers()
+	var bad bool
+	runWorkers(t, c, s, 2*time.Minute, func(w *Worker) {
+		for round := 0; round < 5; round++ {
+			w.SetUint32((w.ID*16+round)*4, uint32(w.ID*100+round))
+			w.Barrier()
+			for j := 0; j < P; j++ {
+				if w.Uint32((j*16+round)*4) != uint32(j*100+round) {
+					bad = true
+				}
+			}
+			w.Barrier()
+		}
+	})
+	if bad {
+		t.Fatal("data corruption under transient errors")
+	}
+}
+
+func TestWorkerPanicsOnOutOfRange(t *testing.T) {
+	c, s := testSystem(t, 2, 1, 0, PageSize)
+	panicked := false
+	run := s.SpawnWorkers(func(w *Worker) {
+		if w.ID == 0 {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			w.Read(s.Size(), 8)
+		}
+	})
+	c.RunFor(time.Second)
+	c.Stop()
+	_ = run
+	if !panicked {
+		t.Fatal("out-of-range access did not panic")
+	}
+}
+
+func TestSharedCacheWithinNode(t *testing.T) {
+	// Two workers on the same node share the cache: a fetch by one
+	// makes the page valid for the other without extra traffic.
+	c, s := testSystem(t, 2, 2, 0, 1<<18)
+	var fetches [4]time.Duration
+	runWorkers(t, c, s, 10*time.Second, func(w *Worker) {
+		w.Barrier()
+		if w.node.idx == 0 {
+			if w.ID == 1 {
+				// Access strictly after the node-mate's fetch finished.
+				w.p.Sleep(time.Millisecond)
+			}
+			t0 := w.p.Now()
+			_ = w.Float64(1 * PageSize) // page 1 homes on node 1
+			fetches[w.ID] = w.p.Now().Sub(t0)
+		}
+		w.Barrier()
+	})
+	if fetches[0] == 0 {
+		t.Fatal("worker 0 did not pay a fetch")
+	}
+	if fetches[1] != 0 {
+		t.Fatalf("worker 1 paid %v despite the node-shared cache", fetches[1])
+	}
+}
+
+func TestConcurrentFetchCoalesced(t *testing.T) {
+	// Node-mates touching the same missing page at the same instant issue
+	// exactly one page request; the second rides the first's fetch.
+	c, s := testSystem(t, 2, 2, 0, 1<<18)
+	runWorkers(t, c, s, 10*time.Second, func(w *Worker) {
+		w.Barrier()
+		if w.node.idx == 0 {
+			_ = w.Float64(1 * PageSize)
+		}
+		w.Barrier()
+	})
+	// Data frames node0→node1: 4 barrier-release replies (2 barriers ×
+	// 2 remote workers) + exactly 1 page request. A duplicate fetch
+	// would make it 6.
+	accepted := c.NICAt(1).Counters().Get("pkts-accepted")
+	if accepted != 5 {
+		t.Fatalf("node1 accepted %d data frames, want 5 (4 barrier replies + 1 coalesced page request)", accepted)
+	}
+}
+
+func TestNoticeOverflowFallsBackToWildcard(t *testing.T) {
+	// A critical section that dirties more pages than a notice message
+	// can carry must degrade to wildcard invalidation — correct, just
+	// conservative. maxNotices = (512-16)/4 = 124 pages.
+	c, s := testSystem(t, 2, 1, 0, (maxNotices+40)*PageSize)
+	var bad bool
+	runWorkers(t, c, s, 2*time.Minute, func(w *Worker) {
+		if w.ID == 0 {
+			w.Lock(0)
+			// Dirty more pages than a notice list can carry.
+			for pg := 0; pg < maxNotices+20; pg++ {
+				w.SetUint32(pg*PageSize, uint32(pg+1))
+			}
+			w.Unlock(0)
+		}
+		w.Barrier()
+		if w.ID == 1 {
+			w.Lock(0)
+			for pg := 0; pg < maxNotices+20; pg++ {
+				if w.Uint32(pg*PageSize) != uint32(pg+1) {
+					bad = true
+					break
+				}
+			}
+			w.Unlock(0)
+		}
+		w.Barrier()
+	})
+	if bad {
+		t.Fatal("writes lost across a notice-overflow critical section")
+	}
+}

@@ -1,0 +1,266 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStar(t *testing.T) {
+	nw, hosts := Star(4)
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 4 {
+		t.Fatalf("got %d hosts, want 4", len(hosts))
+	}
+	if got := len(nw.Switches()); got != 1 {
+		t.Fatalf("got %d switches, want 1", got)
+	}
+	sw := nw.Switches()[0]
+	for _, h := range hosts {
+		n, _ := nw.Neighbor(h, 0)
+		if n != sw {
+			t.Fatalf("host %d not attached to switch", h)
+		}
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	nw := New()
+	a := nw.AddHost("a")
+	b := nw.AddHost("b")
+	nw.Connect(a, 0, b, 0)
+	for _, fn := range []func(){
+		func() { nw.Connect(a, 0, b, 0) }, // already wired
+		func() { nw.Connect(a, 5, b, 0) }, // out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDisconnectAndReconnect(t *testing.T) {
+	nw := New()
+	h := nw.AddHost("h")
+	sw := nw.AddSwitch("sw", 4)
+	l := nw.Connect(h, 0, sw, 2)
+	nw.Disconnect(h, 0)
+	if l.Up {
+		t.Fatal("disconnected link still up")
+	}
+	if nw.Node(h).Ports[0] != nil || nw.Node(sw).Ports[2] != nil {
+		t.Fatal("ports still wired after disconnect")
+	}
+	nw.Connect(h, 0, sw, 3)
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillAndRestoreLink(t *testing.T) {
+	nw, hosts := Star(2)
+	l := nw.Node(hosts[0]).Ports[0]
+	if !nw.LinkUsable(l) {
+		t.Fatal("fresh link should be usable")
+	}
+	nw.KillLink(l)
+	if nw.LinkUsable(l) {
+		t.Fatal("killed link should be unusable")
+	}
+	if n, _ := nw.Neighbor(hosts[0], 0); n != None {
+		t.Fatal("neighbor across killed link should be None")
+	}
+	nw.RestoreLink(l)
+	if !nw.LinkUsable(l) {
+		t.Fatal("restored link should be usable")
+	}
+}
+
+func TestKillSwitchDisablesLinks(t *testing.T) {
+	nw, hosts := Star(2)
+	sw := nw.Switches()[0]
+	nw.KillSwitch(sw)
+	if nw.LinkUsable(nw.Node(hosts[0]).Ports[0]) {
+		t.Fatal("link into a dead switch should be unusable")
+	}
+	nw.RestoreSwitch(sw)
+	if !nw.LinkUsable(nw.Node(hosts[0]).Ports[0]) {
+		t.Fatal("link should be usable after switch restore")
+	}
+}
+
+func TestKillSwitchOnHostPanics(t *testing.T) {
+	nw, hosts := Star(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KillSwitch on a host should panic")
+		}
+	}()
+	nw.KillSwitch(hosts[0])
+}
+
+func TestMoveHost(t *testing.T) {
+	nw, hosts := DoubleStar(4)
+	sws := nw.Switches()
+	// host0 starts on sw0; move it to sw1.
+	n, _ := nw.Neighbor(hosts[0], 0)
+	if n != sws[0] {
+		t.Fatalf("host0 initially on %v, want sw0", n)
+	}
+	p := nw.Node(sws[1]).FreePort()
+	nw.MoveHost(hosts[0], sws[1], p)
+	n, _ = nw.Neighbor(hosts[0], 0)
+	if n != sws[1] {
+		t.Fatalf("host0 on %v after move, want sw1", n)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChain(t *testing.T) {
+	nw, hosts := Chain(4, 2, 2)
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Switches()) != 4 {
+		t.Fatalf("switches = %d, want 4", len(nw.Switches()))
+	}
+	total := 0
+	for _, hs := range hosts {
+		total += len(hs)
+	}
+	if total != 8 {
+		t.Fatalf("hosts = %d, want 8", total)
+	}
+	// Adjacent switches have 2 parallel links: 3 gaps * 2 + 8 host links.
+	if len(nw.Links) != 14 {
+		t.Fatalf("links = %d, want 14", len(nw.Links))
+	}
+}
+
+func TestRing(t *testing.T) {
+	nw, _ := Ring(4, 1)
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 ring links + 4 host links.
+	if len(nw.Links) != 8 {
+		t.Fatalf("links = %d, want 8", len(nw.Links))
+	}
+}
+
+func TestFig2Structure(t *testing.T) {
+	f := NewFig2()
+	if err := f.Net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Net.Node(f.Switches[0]).Radix(); got != 16 {
+		t.Fatalf("S0 radix = %d, want 16", got)
+	}
+	if got := f.Net.Node(f.Switches[2]).Radix(); got != 8 {
+		t.Fatalf("S2 radix = %d, want 8", got)
+	}
+	// Backbone redundancy: two links between each adjacent switch pair.
+	count := func(a, b NodeID) int {
+		c := 0
+		for _, l := range f.Net.Links {
+			if (l.A.Node == a && l.B.Node == b) || (l.A.Node == b && l.B.Node == a) {
+				c++
+			}
+		}
+		return c
+	}
+	for i := 0; i < 3; i++ {
+		if c := count(f.Switches[i], f.Switches[i+1]); c != 2 {
+			t.Fatalf("S%d-S%d has %d links, want 2", i, i+1, c)
+		}
+	}
+	if f.Mapper == f.Targets[0] {
+		t.Fatal("mapper and 1-hop target must differ")
+	}
+}
+
+func TestRandomConnectedAndDeterministic(t *testing.T) {
+	build := func() string {
+		nw, _ := Random(10, 5, 8, 3.0, 77)
+		return nw.String()
+	}
+	if build() != build() {
+		t.Fatal("Random topology not deterministic for fixed seed")
+	}
+	nw, hosts := Random(10, 5, 8, 3.0, 77)
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) == 0 {
+		t.Fatal("no hosts placed")
+	}
+	// Connectivity: BFS from first host must reach all nodes that are up.
+	seen := map[NodeID]bool{hosts[0]: true}
+	queue := []NodeID{hosts[0]}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		n := nw.Node(cur)
+		for p := 0; p < n.Radix(); p++ {
+			if nb, _ := nw.Neighbor(cur, p); nb != None && !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if len(seen) != len(nw.Nodes) {
+		t.Fatalf("reached %d of %d nodes", len(seen), len(nw.Nodes))
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	nw, hosts := Star(2)
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: unplug one side without retiring the link.
+	nw.Node(hosts[0]).Ports[0] = nil
+	if err := nw.Validate(); err == nil {
+		t.Fatal("Validate missed a dangling link")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	nw, _ := Star(2)
+	s := nw.String()
+	for _, want := range []string{"sw0", "host0", "host1", "switch"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestPropertyStarAlwaysValid(t *testing.T) {
+	f := func(n uint8) bool {
+		size := int(n%30) + 1
+		nw, hosts := Star(size)
+		return nw.Validate() == nil && len(hosts) == size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyChainValid(t *testing.T) {
+	f := func(k, h, w uint8) bool {
+		nw, _ := Chain(int(k%5)+1, int(h%4), int(w%3)+1)
+		return nw.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+// Package trace provides an optional packet-level event tracer for
+// debugging protocol behavior. A NIC given a Tracer emits one event per
+// protocol action (send, inject, error-injection drop, retransmission,
+// receive verdicts, acks, remaps); the ring buffer keeps the most recent
+// events and renders them as a timeline.
+//
+// Tracing is off unless wired, and costs nothing when disabled (a nil
+// check per event site).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"sanft/internal/sim"
+	"sanft/internal/topology"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+const (
+	// EvSend: a data frame entered the NIC send path.
+	EvSend Kind = iota
+	// EvInject: a frame's first byte went onto the wire.
+	EvInject
+	// EvErrDrop: send-side error injection swallowed the frame.
+	EvErrDrop
+	// EvRetransmit: the go-back-N engine re-queued the frame.
+	EvRetransmit
+	// EvAccept: the receiver accepted an in-order frame.
+	EvAccept
+	// EvDupDrop: the receiver dropped a duplicate.
+	EvDupDrop
+	// EvOooDrop: the receiver dropped an out-of-order frame (go-back-N).
+	EvOooDrop
+	// EvCrcDrop: the CRC check discarded a corrupted frame.
+	EvCrcDrop
+	// EvAckTx: an explicit acknowledgment was sent.
+	EvAckTx
+	// EvAckRx: an acknowledgment (explicit or piggybacked) was processed.
+	EvAckRx
+	// EvGenReset: a remap reset the sequence generation for a path.
+	EvGenReset
+	// EvUnreachable: a destination was declared unreachable.
+	EvUnreachable
+)
+
+var kindNames = [...]string{
+	"send", "inject", "err-drop", "retransmit", "accept", "dup-drop",
+	"ooo-drop", "crc-drop", "ack-tx", "ack-rx", "gen-reset", "unreachable",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one traced protocol action.
+type Event struct {
+	At   sim.Time
+	Node topology.NodeID // the NIC that recorded the event
+	Kind Kind
+	Peer topology.NodeID // the other end (destination or source)
+	Gen  uint32
+	Seq  uint64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("[%12v] nic%-3d %-11s peer=%-3d gen=%d seq=%d",
+		e.At, e.Node, e.Kind, e.Peer, e.Gen, e.Seq)
+}
+
+// Tracer receives events. Implementations must be cheap; they run inline
+// with the simulation.
+type Tracer interface {
+	Trace(Event)
+}
+
+// Ring is a fixed-capacity ring-buffer Tracer keeping the newest events.
+type Ring struct {
+	buf   []Event
+	next  int
+	total uint64
+	// Filter, if non-nil, keeps only events it returns true for.
+	Filter func(Event) bool
+}
+
+// NewRing returns a ring buffer holding up to n events.
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, 0, n)}
+}
+
+// Trace records one event.
+func (r *Ring) Trace(e Event) {
+	if r.Filter != nil && !r.Filter(e) {
+		return
+	}
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Total returns how many events were recorded (including overwritten).
+func (r *Ring) Total() uint64 { return r.total }
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	if len(r.buf) < cap(r.buf) {
+		out := make([]Event, len(r.buf))
+		copy(out, r.buf)
+		return out
+	}
+	out := make([]Event, 0, cap(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dump renders the retained events as a timeline.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events recorded, %d retained\n", r.total, len(r.buf))
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Counts aggregates retained events by kind.
+func (r *Ring) Counts() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range r.Events() {
+		out[e.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"sanft/internal/sim"
+	"sanft/internal/topology"
+)
+
+func ev(i int, k Kind) Event {
+	return Event{At: sim.Time(i * 1000), Node: 1, Kind: k, Peer: 2, Seq: uint64(i)}
+}
+
+func TestRingRetainsNewest(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Trace(ev(i, EvSend))
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	es := r.Events()
+	if len(es) != 3 {
+		t.Fatalf("retained %d", len(es))
+	}
+	for i, e := range es {
+		if e.Seq != uint64(i+2) {
+			t.Fatalf("events = %v, want seqs 2,3,4", es)
+		}
+	}
+}
+
+func TestRingUnderfill(t *testing.T) {
+	r := NewRing(10)
+	r.Trace(ev(0, EvSend))
+	r.Trace(ev(1, EvAccept))
+	es := r.Events()
+	if len(es) != 2 || es[0].Seq != 0 || es[1].Seq != 1 {
+		t.Fatalf("events = %v", es)
+	}
+}
+
+func TestRingFilter(t *testing.T) {
+	r := NewRing(10)
+	r.Filter = func(e Event) bool { return e.Kind == EvRetransmit }
+	r.Trace(ev(0, EvSend))
+	r.Trace(ev(1, EvRetransmit))
+	r.Trace(ev(2, EvAccept))
+	if r.Total() != 1 || len(r.Events()) != 1 {
+		t.Fatalf("filter failed: total=%d", r.Total())
+	}
+}
+
+func TestDumpAndCounts(t *testing.T) {
+	r := NewRing(10)
+	r.Trace(ev(0, EvSend))
+	r.Trace(ev(1, EvSend))
+	r.Trace(ev(2, EvErrDrop))
+	d := r.Dump()
+	if !strings.Contains(d, "err-drop") || !strings.Contains(d, "3 events recorded") {
+		t.Fatalf("dump = %q", d)
+	}
+	c := r.Counts()
+	if c[EvSend] != 2 || c[EvErrDrop] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if EvSend.String() != "send" || EvUnreachable.String() != "unreachable" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatal("unknown kind")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: sim.Time(1500), Node: topology.NodeID(3), Kind: EvAccept, Peer: 7, Gen: 1, Seq: 42}
+	s := e.String()
+	for _, want := range []string{"nic3", "accept", "peer=7", "gen=1", "seq=42"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package vmmc implements Virtual Memory-Mapped Communication, the
+// user-level communication layer of the paper's platform (§3.2).
+//
+// The model follows the original semantics: a receiving process EXPORTS
+// regions of its address space (with permissions restricting who may
+// import them); a sender IMPORTS a remote buffer and then deposits data
+// directly into the remote memory — no receiver CPU involvement, no
+// receive() call, optional completion notifications. Messages of at most
+// 32 bytes go to the NIC by programmed I/O, larger ones by DMA, and
+// messages above 4 KB are segmented into chunks by the firmware.
+//
+// Reliability interaction: with the retransmission protocol enabled the
+// layer sees exactly-once, in-order chunks per sending PROCESS in steady
+// state, and at-least-once chunks across a permanent-failure remap (a
+// generation reset renumbers delivered-but-unacknowledged packets).
+// Deposits are idempotent writes into exported memory, so redelivery is
+// harmless at the data level. Completion notifications are deduplicated
+// exactly: message IDs are assigned per destination node, and the receiver
+// tracks a gap-filling completion window per source (messages from
+// different processes sharing one NIC can complete out of ID order — a
+// small PIO send overtakes a large DMA send still crossing the PCI bus).
+package vmmc
+
+import (
+	"fmt"
+	"time"
+
+	"sanft/internal/nic"
+	"sanft/internal/proto"
+	"sanft/internal/sim"
+	"sanft/internal/stats"
+	"sanft/internal/topology"
+)
+
+// Notification reports a completed message arrival to the exporting
+// process.
+type Notification struct {
+	Src    topology.NodeID
+	MsgID  uint64
+	BufID  int
+	Offset int // where in the exported buffer the message starts
+	Len    int
+	// Latency is end-to-end: first chunk's host start to last chunk's
+	// host deposit.
+	Latency time.Duration
+	// Breakdown is the five-stage decomposition of the first chunk.
+	Breakdown stats.Breakdown
+}
+
+// Export is a region of host memory opened for remote deposits.
+type Export struct {
+	ID   int
+	Name string
+	Mem  []byte
+	// allowed restricts importers; nil means any node may import.
+	allowed map[topology.NodeID]bool
+	// Notify receives a Notification per completed message that asked
+	// for one.
+	Notify sim.Mailbox
+}
+
+// Import is a sender-side handle to a remote exported buffer.
+type Import struct {
+	ep     *Endpoint
+	Remote topology.NodeID
+	BufID  int
+	Size   int
+}
+
+// Directory is the name service mapping (node, buffer name) to exports —
+// the connection-setup plumbing, outside the measured data path.
+type Directory struct {
+	eps map[topology.NodeID]*Endpoint
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{eps: make(map[topology.NodeID]*Endpoint)}
+}
+
+type msgKey struct {
+	src topology.NodeID
+	id  uint64
+}
+
+type partialMsg struct {
+	received int
+	first    proto.Stamps
+}
+
+// Endpoint is one process's VMMC instance, bound to its host's NIC.
+type Endpoint struct {
+	k    *sim.Kernel
+	n    *nic.NIC
+	dir  *Directory
+	node topology.NodeID
+
+	exports   map[int]*Export
+	byName    map[string]*Export
+	nextBufID int
+	// nextMsgID numbers messages per destination node, so receivers see
+	// (eventually) dense ID sequences per source.
+	nextMsgID map[topology.NodeID]uint64
+
+	partial   map[msgKey]*partialMsg
+	completed map[topology.NodeID]*completionWindow
+
+	// Counters.
+	RejectedDeposits uint64
+	DupNotifications uint64
+}
+
+// NewEndpoint creates the endpoint for a host and wires it to the NIC's
+// delivery upcall.
+func NewEndpoint(k *sim.Kernel, n *nic.NIC, dir *Directory) *Endpoint {
+	ep := &Endpoint{
+		k:         k,
+		n:         n,
+		dir:       dir,
+		node:      n.Node(),
+		exports:   make(map[int]*Export),
+		byName:    make(map[string]*Export),
+		nextMsgID: make(map[topology.NodeID]uint64),
+		partial:   make(map[msgKey]*partialMsg),
+		completed: make(map[topology.NodeID]*completionWindow),
+	}
+	n.SetOnDeliver(ep.onDeliver)
+	dir.eps[ep.node] = ep
+	return ep
+}
+
+// Node returns the host this endpoint runs on.
+func (ep *Endpoint) Node() topology.NodeID { return ep.node }
+
+// NIC returns the underlying NIC.
+func (ep *Endpoint) NIC() *nic.NIC { return ep.n }
+
+// Export opens a buffer of the given size for remote deposits. If allowed
+// is non-empty, only those nodes may import it.
+func (ep *Endpoint) Export(name string, size int, allowed ...topology.NodeID) *Export {
+	if _, dup := ep.byName[name]; dup {
+		panic(fmt.Sprintf("vmmc: duplicate export %q", name))
+	}
+	e := &Export{ID: ep.nextBufID, Name: name, Mem: make([]byte, size)}
+	ep.nextBufID++
+	if len(allowed) > 0 {
+		e.allowed = make(map[topology.NodeID]bool, len(allowed))
+		for _, a := range allowed {
+			e.allowed[a] = true
+		}
+	}
+	ep.exports[e.ID] = e
+	ep.byName[name] = e
+	return e
+}
+
+// Import obtains a send handle for a buffer exported by a remote node.
+// Connection setup is modeled as a directory lookup (it is outside the
+// data path the paper measures); permissions are enforced here and again
+// at deposit time.
+func (ep *Endpoint) Import(remote topology.NodeID, name string) (*Import, error) {
+	rep, ok := ep.dir.eps[remote]
+	if !ok {
+		return nil, fmt.Errorf("vmmc: no endpoint on node %d", remote)
+	}
+	e, ok := rep.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("vmmc: node %d exports no buffer %q", remote, name)
+	}
+	if e.allowed != nil && !e.allowed[ep.node] {
+		return nil, fmt.Errorf("vmmc: node %d may not import %q from node %d", ep.node, name, remote)
+	}
+	return &Import{ep: ep, Remote: remote, BufID: e.ID, Size: len(e.Mem)}, nil
+}
+
+// Send deposits data into the imported remote buffer at the given offset,
+// segmenting into MTU-sized chunks. It blocks (in virtual time) only for
+// send-buffer availability and the host-side per-chunk cost; delivery is
+// asynchronous. If notify is true the remote endpoint posts a Notification
+// when the whole message has arrived. Returns the message ID.
+func (imp *Import) Send(p *sim.Proc, offset int, data []byte, notify bool) uint64 {
+	ep := imp.ep
+	if offset < 0 || offset+len(data) > imp.Size {
+		panic(fmt.Sprintf("vmmc: deposit [%d,%d) outside buffer of %d bytes", offset, offset+len(data), imp.Size))
+	}
+	ep.nextMsgID[imp.Remote]++
+	msgID := ep.nextMsgID[imp.Remote]
+	mtu := ep.n.Cost().MTU
+	start := p.Now()
+	if len(data) == 0 {
+		// Zero-length messages still notify (used as pure signals).
+		data = nil
+	}
+	sent := 0
+	for {
+		chunkLen := len(data) - sent
+		if chunkLen > mtu {
+			chunkLen = mtu
+		}
+		chunk := data[sent : sent+chunkLen]
+		frame := &proto.Frame{
+			Type: proto.FrameData,
+			Dst:  imp.Remote,
+			Data: &proto.DataPayload{
+				BufID:     imp.BufID,
+				MsgID:     msgID,
+				MsgLen:    len(data),
+				BufOffset: offset + sent,
+				MsgOffset: sent,
+				Data:      chunk,
+				Notify:    notify,
+			},
+		}
+		frame.Stamps.HostStart = start
+		ep.n.Send(p, frame)
+		sent += chunkLen
+		if sent >= len(data) {
+			break
+		}
+	}
+	return msgID
+}
+
+// onDeliver handles an accepted data frame from the NIC: deposit the chunk
+// into the exported buffer and track message completion.
+func (ep *Endpoint) onDeliver(f *proto.Frame) {
+	d := f.Data
+	e, ok := ep.exports[d.BufID]
+	if !ok {
+		ep.RejectedDeposits++
+		return
+	}
+	if e.allowed != nil && !e.allowed[f.Src] {
+		ep.RejectedDeposits++
+		return
+	}
+	if d.BufOffset < 0 || d.BufOffset+len(d.Data) > len(e.Mem) {
+		ep.RejectedDeposits++
+		return
+	}
+	copy(e.Mem[d.BufOffset:], d.Data)
+
+	cw := ep.completed[f.Src]
+	if cw == nil {
+		cw = &completionWindow{sparse: make(map[uint64]bool)}
+		ep.completed[f.Src] = cw
+	}
+	if debugVMMC {
+		fmt.Printf("[vmmcdbg node=%d] chunk src=%d msg=%d buf=%d len=%d msgoff=%d upTo=%d\n",
+			ep.node, f.Src, d.MsgID, d.BufID, len(d.Data), d.MsgOffset, cw.upTo)
+	}
+	if cw.done(d.MsgID) {
+		// Redelivered chunk of an already-completed message (possible
+		// across a generation reset): the write above is idempotent;
+		// suppress tracking and notification.
+		ep.DupNotifications++
+		return
+	}
+	key := msgKey{f.Src, d.MsgID}
+	pm := ep.partial[key]
+	if pm == nil {
+		pm = &partialMsg{}
+		ep.partial[key] = pm
+	}
+	if d.MsgOffset == 0 {
+		pm.first = f.Stamps
+	}
+	pm.received += len(d.Data)
+	if pm.received < d.MsgLen {
+		return
+	}
+	// Message complete.
+	delete(ep.partial, key)
+	cw.mark(d.MsgID)
+	if !d.Notify {
+		return
+	}
+	first := pm.first
+	if d.MsgLen == 0 || first.HostStart == 0 {
+		first = f.Stamps
+	}
+	e.Notify.Put(Notification{
+		Src:     f.Src,
+		MsgID:   d.MsgID,
+		BufID:   d.BufID,
+		Offset:  d.BufOffset - d.MsgOffset,
+		Len:     d.MsgLen,
+		Latency: f.Stamps.HostRecvDone.Sub(first.HostStart),
+		Breakdown: stats.Breakdown{
+			HostSend: first.HostDone.Sub(first.HostStart),
+			NICSend:  first.Injected.Sub(first.HostDone),
+			Wire:     first.Delivered.Sub(first.Injected),
+			NICRecv:  first.NICRecvDone.Sub(first.Delivered),
+			HostRecv: first.HostRecvDone.Sub(first.NICRecvDone),
+		},
+	})
+}
+
+// debugVMMC enables tracing of chunk arrivals (tests only).
+var debugVMMC = false
+
+// completionWindow tracks which message IDs from one source have
+// completed: everything ≤ upTo, plus a sparse set above it that is folded
+// down as gaps fill. With reliable transport every ID eventually
+// completes, so the sparse set stays bounded by the in-flight window.
+type completionWindow struct {
+	upTo   uint64
+	sparse map[uint64]bool
+}
+
+func (c *completionWindow) done(id uint64) bool {
+	return id <= c.upTo || c.sparse[id]
+}
+
+func (c *completionWindow) mark(id uint64) {
+	if id <= c.upTo {
+		return
+	}
+	c.sparse[id] = true
+	for c.sparse[c.upTo+1] {
+		delete(c.sparse, c.upTo+1)
+		c.upTo++
+	}
+}
+
+// WaitNotification blocks the calling process until a notification arrives
+// on the export.
+func (e *Export) WaitNotification(p *sim.Proc) Notification {
+	return e.Notify.Get(p).(Notification)
+}
+
+// WaitNotificationTimeout is WaitNotification with a timeout.
+func (e *Export) WaitNotificationTimeout(p *sim.Proc, d time.Duration) (Notification, bool) {
+	v, ok := e.Notify.GetTimeout(p, d)
+	if !ok {
+		return Notification{}, false
+	}
+	return v.(Notification), true
+}
+
+// SetDebug toggles chunk tracing.
+func SetDebug(v bool) { debugVMMC = v }
