@@ -1,0 +1,83 @@
+// Command sanchaos runs seed-driven chaos campaigns against the simulated
+// platform and prints a degradation report per campaign: faults injected,
+// delivery outcome, remap pacing, delivery-stall (MTTR) statistics, and
+// any violated invariants. Same seed, same campaign → byte-identical
+// event log.
+//
+// Usage:
+//
+//	sanchaos                          # run every campaign
+//	sanchaos -campaign partition-heal # run one campaign
+//	sanchaos -seed 42 -events         # different schedule, print event log
+//	sanchaos -list                    # list campaigns
+//
+// Exit status is nonzero if any campaign violates an invariant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sanft/internal/chaos"
+)
+
+func main() {
+	campaign := flag.String("campaign", "all", "campaign name, or \"all\"")
+	seed := flag.Int64("seed", 1, "campaign seed (drives fault schedule and traffic)")
+	events := flag.Bool("events", false, "print the full event log per campaign")
+	list := flag.Bool("list", false, "list available campaigns and exit")
+	flag.Parse()
+
+	all := chaos.Campaigns()
+	if *list {
+		for _, c := range all {
+			fmt.Printf("%-16s %s\n", c.Name, c.About)
+		}
+		return
+	}
+
+	var todo []chaos.Campaign
+	if *campaign == "all" {
+		todo = all
+	} else {
+		c, ok := chaos.Find(*campaign)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sanchaos: unknown campaign %q (try -list)\n", *campaign)
+			os.Exit(2)
+		}
+		todo = []chaos.Campaign{c}
+	}
+
+	start := time.Now()
+	failed := 0
+	for _, c := range todo {
+		rep := c.Run(*seed)
+		fmt.Print(rep)
+		if *events {
+			fmt.Println("  event log:")
+			fmt.Println(indent(rep.EventLog))
+		}
+		if !rep.Passed() {
+			failed++
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d/%d campaigns passed (%v wall time)\n",
+		len(todo)-failed, len(todo), time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func indent(s string) string {
+	out := "    "
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += "    "
+		}
+	}
+	return out
+}

@@ -37,7 +37,7 @@ func ExampleNew() {
 	cluster.Stop()
 	drops := cluster.NICAt(0).Counters().Get("err-injected-drops")
 	fmt.Printf("delivered %d/8 despite %d injected drops\n", got, drops)
-	// Output: delivered 8/8 despite 5 injected drops
+	// Output: delivered 8/8 despite 9 injected drops
 }
 
 // ExampleRunFig3 regenerates the paper's Figure 3 numbers: the

@@ -1,0 +1,246 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sanft/internal/core"
+	"sanft/internal/retrans"
+	"sanft/internal/topology"
+)
+
+// Report is the outcome of one campaign run — the degradation report the
+// sanchaos command prints.
+type Report struct {
+	Campaign string
+	Seed     int64
+
+	Faults   int
+	Events   int
+	EventLog string
+
+	Pairs      int
+	Expected   int
+	Delivered  int
+	Duplicates int
+
+	Remaps       int
+	Unreachables int
+	RemapStats   core.RemapStats
+
+	// MTTR summarizes delivery stalls (see Engine.MTTR).
+	MTTR string
+
+	Violations []Violation
+}
+
+// Passed reports whether every invariant held.
+func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+func (r *Report) String() string {
+	var b strings.Builder
+	verdict := "PASS"
+	if !r.Passed() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "campaign %s (seed %d): %s\n", r.Campaign, r.Seed, verdict)
+	fmt.Fprintf(&b, "  faults injected:  %d (%d log events)\n", r.Faults, r.Events)
+	fmt.Fprintf(&b, "  flows:            %d pairs, %d messages expected\n", r.Pairs, r.Expected)
+	fmt.Fprintf(&b, "  delivered:        %d distinct, %d duplicate notifications\n",
+		r.Delivered, r.Duplicates)
+	fmt.Fprintf(&b, "  remaps:           %d ok, %d unreachable verdicts\n",
+		r.Remaps, r.Unreachables)
+	fmt.Fprintf(&b, "  remap pacing:     attempts %d, coalesced %d, deferred %d, quarantines %d\n",
+		r.RemapStats.Attempts, r.RemapStats.Coalesced,
+		r.RemapStats.Deferred, r.RemapStats.Quarantines)
+	fmt.Fprintf(&b, "  delivery stalls:  %s\n", r.MTTR)
+	if r.Passed() {
+		fmt.Fprintf(&b, "  invariants:       all hold\n")
+	} else {
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  VIOLATION:        %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// Campaign is a named, self-contained chaos experiment: it builds its own
+// cluster, workload, and scenarios, runs them, and reports.
+type Campaign struct {
+	Name  string
+	About string
+	Run   func(seed int64) *Report
+}
+
+// finish stops the cluster, audits invariants, and assembles the report.
+func finish(name string, seed int64, e *Engine, r *Run, opts CheckOpts, dur time.Duration) *Report {
+	e.C.RunFor(dur)
+	e.C.Stop()
+	e.Record("campaign %s complete", name)
+	return &Report{
+		Campaign:     name,
+		Seed:         seed,
+		Faults:       e.Faults(),
+		Events:       e.Events(),
+		EventLog:     e.LogText(),
+		Pairs:        len(r.W.Pairs),
+		Expected:     r.Expected(),
+		Delivered:    r.Delivered(),
+		Duplicates:   r.Duplicates(),
+		Remaps:       e.C.Remaps,
+		Unreachables: e.C.Unreachables,
+		RemapStats:   e.C.RemapStats,
+		MTTR:         e.MTTR.String(),
+		Violations:   CheckInvariants(e, r, opts),
+	}
+}
+
+// chainCluster builds the redundant 3-switch chain (two trunks between
+// adjacent switches, two hosts per switch) used by several campaigns.
+func chainCluster(seed int64) (*core.Cluster, []topology.NodeID) {
+	nw, rows := topology.Chain(3, 2, 2)
+	var hosts []topology.NodeID
+	for _, row := range rows {
+		hosts = append(hosts, row...)
+	}
+	c := core.New(core.Config{
+		Net: nw, Hosts: hosts, FT: true,
+		Retrans: retrans.Config{
+			QueueSize:         16,
+			Interval:          time.Millisecond,
+			PermFailThreshold: 8 * time.Millisecond,
+		},
+		Mapper: true,
+		Seed:   seed,
+	})
+	return c, hosts
+}
+
+// Campaigns returns the built-in campaign suite.
+func Campaigns() []Campaign {
+	return []Campaign{
+		{
+			Name:  "link-flap",
+			About: "random trunk flaps on a redundant chain; strict delivery",
+			Run: func(seed int64) *Report {
+				c, hosts := chainCluster(seed)
+				e := NewEngine(c, seed)
+				// Pace the traffic across the whole flap window (~60ms); the
+				// 3ms gap keeps the stall floor below remap-length stalls.
+				r := Workload{Pairs: AllPairs(hosts), Msgs: 20, Gap: 3 * time.Millisecond}.Start(e)
+				e.Install(LinkFlap{Start: time.Millisecond, Cycles: 10})
+				return finish("link-flap", seed, e, r,
+					CheckOpts{MaxRemapAttempts: 60}, 20*time.Second)
+			},
+		},
+		{
+			Name:  "switch-storm",
+			About: "correlated double switch outage on the Figure-2 tree; loss allowed",
+			Run: func(seed int64) *Report {
+				f := topology.NewFig2()
+				hosts := append([]topology.NodeID{f.Mapper}, f.Targets[:3]...)
+				c := core.New(core.Config{
+					Net: f.Net, Hosts: hosts, FT: true,
+					Retrans: retrans.Config{
+						QueueSize:         16,
+						Interval:          time.Millisecond,
+						PermFailThreshold: 8 * time.Millisecond,
+					},
+					Mapper: true,
+					Seed:   seed,
+				})
+				e := NewEngine(c, seed)
+				// Traffic outlasts both outages (~700ms of storm), so
+				// surviving flows show their recovery stalls.
+				r := Workload{Pairs: AllPairs(hosts), Msgs: 20, Gap: 40 * time.Millisecond}.Start(e)
+				e.Install(SwitchOutage{
+					Switches: []topology.NodeID{f.Switches[1], f.Switches[2]},
+					Start:    2 * time.Millisecond,
+					Down:     200 * time.Millisecond,
+					Repeat:   2,
+				})
+				return finish("switch-storm", seed, e, r,
+					CheckOpts{AllowLoss: true}, 20*time.Second)
+			},
+		},
+		{
+			Name:  "partition-heal",
+			About: "sever and heal the full cut between two halves of the chain",
+			Run: func(seed int64) *Report {
+				c, hosts := chainCluster(seed)
+				sws := c.Net.Switches()
+				e := NewEngine(c, seed)
+				// Demand persists through the 300ms cut, so cross-partition
+				// sources keep triggering remaps until quarantine.
+				r := Workload{Pairs: AllPairs(hosts), Msgs: 30, Gap: 20 * time.Millisecond}.Start(e)
+				e.Install(Partition{
+					A:     sws[:2],
+					B:     sws[2:],
+					Start: 2 * time.Millisecond,
+					Heal:  300 * time.Millisecond,
+				})
+				rep := finish("partition-heal", seed, e, r,
+					CheckOpts{AllowLoss: true}, 20*time.Second)
+				// A 300ms full cut with ongoing demand must drive at least
+				// one destination into quarantine — that is the graceful
+				// degradation this campaign exists to demonstrate.
+				if rep.RemapStats.Quarantines == 0 {
+					rep.Violations = append(rep.Violations, Violation{
+						"quarantine", "partition never quarantined any destination"})
+				}
+				return rep
+			},
+		},
+		{
+			Name:  "drop-ramp",
+			About: "send-side error rate ramped to 30% and back; strict delivery",
+			Run: func(seed int64) *Report {
+				nw, hosts := topology.Star(6)
+				c := core.New(core.Config{
+					Net: nw, Hosts: hosts, FT: true,
+					Retrans: retrans.Config{
+						QueueSize:         16,
+						Interval:          time.Millisecond,
+						PermFailThreshold: time.Second,
+					},
+					Seed: seed,
+				})
+				e := NewEngine(c, seed)
+				// Traffic spans the whole ramp (~100ms).
+				r := Workload{Pairs: AllPairs(hosts), Msgs: 12, Gap: 10 * time.Millisecond}.Start(e)
+				e.Install(DropRamp{
+					Rates: []float64{0.02, 0.1, 0.3, 0},
+					Start: time.Millisecond,
+					Step:  25 * time.Millisecond,
+				})
+				return finish("drop-ramp", seed, e, r, CheckOpts{}, 10*time.Second)
+			},
+		},
+		{
+			Name:  "composite",
+			About: "trunk flapping while the error rate ramps; strict delivery",
+			Run: func(seed int64) *Report {
+				c, hosts := chainCluster(seed)
+				e := NewEngine(c, seed)
+				r := Workload{Pairs: AllPairs(hosts), Msgs: 20, Gap: 3 * time.Millisecond}.Start(e)
+				e.Install(Composite{Parts: []Scenario{
+					LinkFlap{Start: time.Millisecond, Cycles: 8},
+					DropRamp{Rates: []float64{0.05, 0}, Start: time.Millisecond, Step: 30 * time.Millisecond},
+				}})
+				return finish("composite", seed, e, r,
+					CheckOpts{MaxRemapAttempts: 60}, 20*time.Second)
+			},
+		},
+	}
+}
+
+// Find returns the campaign with the given name.
+func Find(name string) (Campaign, bool) {
+	for _, c := range Campaigns() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Campaign{}, false
+}

@@ -6,7 +6,6 @@
 package core
 
 import (
-	"fmt"
 	"time"
 
 	"sanft/internal/fabric"
@@ -48,6 +47,15 @@ type Config struct {
 	Mapper    bool
 	MapperCfg mapping.Config
 
+	// Remap paces the recovery path: remaps to one destination coalesce,
+	// failures back off exponentially with jitter, and persistent failures
+	// quarantine the destination. Zero fields take defaults.
+	Remap RemapPolicy
+	// OnUnreachable fires when src quarantines dst after repeated failed
+	// remaps — the explicit graceful-degradation upcall, instead of
+	// silently retrying forever.
+	OnUnreachable func(src, dst topology.NodeID)
+
 	// Seed drives all deterministic randomness.
 	Seed int64
 }
@@ -63,11 +71,17 @@ type Cluster struct {
 	nics    map[topology.NodeID]*nic.NIC
 	eps     map[topology.NodeID]*vmmc.Endpoint
 	mappers map[topology.NodeID]*mapping.Mapper
+	remaps  map[topology.NodeID]*remapManager
+
+	onUnreachable func(src, dst topology.NodeID)
 
 	// Remaps counts completed on-demand remap operations.
 	Remaps int
 	// Unreachables counts remaps that ended in an unreachable verdict.
 	Unreachables int
+	// RemapStats counts remap-manager pacing activity (coalesced upcalls,
+	// deferred retries, quarantines).
+	RemapStats RemapStats
 }
 
 // New builds a cluster. All routes between host pairs are pre-installed
@@ -88,19 +102,24 @@ func New(cfg Config) *Cluster {
 	}
 	k := sim.New(cfg.Seed)
 	c := &Cluster{
-		K:       k,
-		Net:     cfg.Net,
-		Fab:     fabric.New(k, cfg.Net, cfg.Fabric),
-		Hosts:   cfg.Hosts,
-		Dir:     vmmc.NewDirectory(),
-		nics:    make(map[topology.NodeID]*nic.NIC),
-		eps:     make(map[topology.NodeID]*vmmc.Endpoint),
-		mappers: make(map[topology.NodeID]*mapping.Mapper),
+		K:             k,
+		Net:           cfg.Net,
+		Fab:           fabric.New(k, cfg.Net, cfg.Fabric),
+		Hosts:         cfg.Hosts,
+		Dir:           vmmc.NewDirectory(),
+		nics:          make(map[topology.NodeID]*nic.NIC),
+		eps:           make(map[topology.NodeID]*vmmc.Endpoint),
+		mappers:       make(map[topology.NodeID]*mapping.Mapper),
+		remaps:        make(map[topology.NodeID]*remapManager),
+		onUnreachable: cfg.OnUnreachable,
 	}
 	for _, h := range cfg.Hosts {
 		var dropper fault.Dropper
 		if cfg.ErrorRate > 0 {
-			dropper = fault.NewRate(cfg.ErrorRate)
+			// Seed per (cluster, host): different cluster seeds — and
+			// different NICs within one cluster — get independent drop
+			// schedules at the same rate.
+			dropper = fault.NewRateSeeded(cfg.ErrorRate, cfg.Seed*1000003+int64(h)*7919+12289)
 		}
 		n := nic.New(k, c.Fab, h, nic.Options{
 			FT:      cfg.FT,
@@ -125,21 +144,14 @@ func New(cfg Config) *Cluster {
 		if !cfg.FT {
 			panic("core: on-demand mapping requires the retransmission protocol")
 		}
+		pol := cfg.Remap.Defaults()
 		for _, h := range cfg.Hosts {
-			h := h
 			m := mapping.New(k, c.nics[h], cfg.MapperCfg)
 			c.mappers[h] = m
-			remap := func(dst topology.NodeID) {
-				k.Spawn(fmt.Sprintf("remap-%d-%d", h, dst), func(p *sim.Proc) {
-					if _, ok := m.Remap(p, dst); ok {
-						c.Remaps++
-					} else {
-						c.Unreachables++
-					}
-				})
-			}
-			c.nics[h].SetOnPathStale(remap)
-			c.nics[h].SetOnNoRoute(remap)
+			rm := newRemapManager(c, h, m, pol, cfg.Seed*9176+int64(h)*104729+31)
+			c.remaps[h] = rm
+			c.nics[h].SetOnPathStale(rm.trigger)
+			c.nics[h].SetOnNoRoute(rm.trigger)
 		}
 	}
 	return c
@@ -153,6 +165,26 @@ func (c *Cluster) Endpoint(h topology.NodeID) *vmmc.Endpoint { return c.eps[h] }
 
 // Mapper returns the on-demand mapper of host h (nil if mapping disabled).
 func (c *Cluster) Mapper(h topology.NodeID) *mapping.Mapper { return c.mappers[h] }
+
+// Quarantined reports whether host src currently holds dst in quarantine
+// (repeated remap failures; cleared by the next successful remap).
+func (c *Cluster) Quarantined(src, dst topology.NodeID) bool {
+	rm := c.remaps[src]
+	return rm != nil && rm.quarantinedNow(dst)
+}
+
+// RemapInFlight returns, across all hosts, how many destinations have a
+// mapping run currently active and how many hold an armed retry timer.
+// At quiesce both should be zero (a run still active there means a remap
+// wedged without completing).
+func (c *Cluster) RemapInFlight() (running, armed int) {
+	for _, rm := range c.remaps {
+		r, a := rm.busy()
+		running += r
+		armed += a
+	}
+	return
+}
 
 // Host returns the i-th host's node ID.
 func (c *Cluster) Host(i int) topology.NodeID { return c.Hosts[i] }

@@ -158,6 +158,12 @@ func (f *Fabric) Inject(src topology.NodeID, pkt *Packet) {
 	l := n.Ports[0]
 	if !f.nw.LinkUsable(l) {
 		f.drop(pkt, DropNoRoute)
+		// No worm was created, so nothing will ever release the injection
+		// channel: complete the send DMA here or the source NIC's transmit
+		// path wedges forever.
+		if pkt.OnInjectDone != nil {
+			pkt.OnInjectDone()
+		}
 		return
 	}
 	w := &worm{f: f, pkt: pkt, curNode: src}
@@ -214,6 +220,34 @@ func (f *Fabric) flushWhere(pred func(*worm) bool) {
 	for _, w := range victims {
 		w.die(DropFlushed)
 	}
+}
+
+// InFlightDetail describes each in-flight worm — held channels, what it is
+// waiting on, and whether a watchdog is armed. Diagnostic aid for chaos
+// audits: at quiesce this should be empty.
+func (f *Fabric) InFlightDetail() []string {
+	var out []string
+	for w := range f.worms {
+		held := 0
+		for _, k := range w.held {
+			if cs := f.chans[k]; cs != nil && cs.holder == w {
+				held++
+			}
+		}
+		wait := "-"
+		if w.waiting != nil {
+			h := "free"
+			if w.waiting.holder != nil {
+				h = fmt.Sprintf("held(src=%d dst=%d)", w.waiting.holder.pkt.Src, w.waiting.holder.pkt.Dst)
+			}
+			wait = fmt.Sprintf("link%d.%d[%s q=%d]", w.waitKey.link, w.waitKey.dir, h, len(w.waiting.waiters))
+		}
+		out = append(out, fmt.Sprintf(
+			"worm src=%d dst=%d size=%d routeIdx=%d/%d held=%d/%d wait=%s watchdog=%v dead=%v",
+			w.pkt.Src, w.pkt.Dst, w.pkt.Size, w.routeIdx, len(w.pkt.Route),
+			held, len(w.held), wait, w.watchdog != nil, w.dead))
+	}
+	return out
 }
 
 // ChannelBusyTime returns the accumulated busy time of the directed channel

@@ -174,6 +174,22 @@ func TestDeadSourceLinkDrop(t *testing.T) {
 	}
 }
 
+func TestDeadSourceLinkFiresInjectDone(t *testing.T) {
+	// Regression: the no-route drop path creates no worm, so nothing else
+	// can ever signal injection completion. Without the explicit callback
+	// the source NIC's transmit DMA waits forever and the host falls
+	// permanently silent — unable to send data, acks, or probe replies.
+	k, f, hosts, _ := testNet(t, 2)
+	f.Network().KillLink(f.Network().Node(hosts[0]).Ports[0])
+	done := false
+	pkt := &Packet{Route: routing.Route{1}, Size: 64, OnInjectDone: func() { done = true }}
+	f.Inject(hosts[0], pkt)
+	k.Run()
+	if !done {
+		t.Fatal("OnInjectDone did not fire for a no-route drop")
+	}
+}
+
 func TestDeadSwitchDrop(t *testing.T) {
 	k := sim.New(1)
 	nw, hosts := topology.Chain(2, 1, 1)

@@ -50,6 +50,11 @@ func (None) ShouldDrop() bool { return false }
 type IntervalDropper struct {
 	Interval   uint64
 	JitterFrac float64
+	// Seed, when nonzero, seeds the jitter RNG. Zero falls back to a
+	// seed derived from the interval alone — reproducible, but identical
+	// for every dropper with the same rate. Wire a real seed (NewRateSeeded)
+	// when multiple clusters or NICs must see independent drop schedules.
+	Seed int64
 
 	rng     *rand.Rand
 	next    uint64
@@ -62,22 +67,33 @@ type IntervalDropper struct {
 // Rates above 0.5 are rejected: the protocol's own traffic could never
 // make progress.
 func NewRate(rate float64) *IntervalDropper {
+	return NewRateSeeded(rate, 0)
+}
+
+// NewRateSeeded is NewRate with an explicit jitter seed, so distinct
+// clusters (and distinct NICs within one cluster) get independent drop
+// schedules for the same error rate.
+func NewRateSeeded(rate float64, seed int64) *IntervalDropper {
 	if rate == 0 {
 		return nil
 	}
 	if rate < 0 || rate > 0.5 {
 		panic(fmt.Sprintf("fault: unreasonable error rate %v", rate))
 	}
-	return &IntervalDropper{Interval: uint64(math.Round(1 / rate)), JitterFrac: 0.25}
+	return &IntervalDropper{Interval: uint64(math.Round(1 / rate)), JitterFrac: 0.25, Seed: seed}
 }
 
 func (d *IntervalDropper) advance() {
 	step := int64(d.Interval)
 	if d.JitterFrac > 0 {
 		if d.rng == nil {
-			// Seed from the interval so runs are reproducible per
-			// configuration without external wiring.
-			d.rng = rand.New(rand.NewSource(int64(d.Interval) * 7919))
+			seed := d.Seed
+			if seed == 0 {
+				// Seed from the interval so runs are reproducible per
+				// configuration without external wiring.
+				seed = int64(d.Interval) * 7919
+			}
+			d.rng = rand.New(rand.NewSource(seed))
 		}
 		j := int64(d.JitterFrac * float64(d.Interval))
 		if j > 0 {

@@ -155,12 +155,41 @@ func TestBurstDropperRateAndBurstiness(t *testing.T) {
 }
 
 func TestBurstDropperValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("burst length 0 should panic")
+	for _, bad := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("burst length %d should panic", bad)
+				}
+			}()
+			NewBurst(0.1, bad, 1)
+		}()
+	}
+	for _, bad := range []float64{-0.01, 1.01} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("burst rate %g should panic", bad)
+				}
+			}()
+			NewBurst(bad, 3, 1)
+		}()
+	}
+}
+
+func TestBurstDropperExtremes(t *testing.T) {
+	// Rate 0 never starts a burst; rate 1 with burst length 1 drops
+	// everything.
+	never := NewBurst(0, 4, 5)
+	always := NewBurst(1, 1, 5)
+	for i := 0; i < 1000; i++ {
+		if never.ShouldDrop() {
+			t.Fatal("rate-0 burst dropper dropped")
 		}
-	}()
-	NewBurst(0.1, 0, 1)
+		if !always.ShouldDrop() {
+			t.Fatal("rate-1 length-1 burst dropper passed a packet")
+		}
+	}
 }
 
 func TestCorruptorRate(t *testing.T) {
@@ -178,6 +207,91 @@ func TestCorruptorRate(t *testing.T) {
 	}
 	if c.Corrupted() != uint64(hits) {
 		t.Fatal("counter wrong")
+	}
+}
+
+func TestCorruptorBounds(t *testing.T) {
+	// Rate 0 never corrupts, rate 1 always does; out-of-range rates panic.
+	clean := NewCorruptor(0, 3)
+	dirty := NewCorruptor(1, 3)
+	for i := 0; i < 1000; i++ {
+		if clean.Corrupt() {
+			t.Fatal("rate-0 corruptor corrupted")
+		}
+		if !dirty.Corrupt() {
+			t.Fatal("rate-1 corruptor passed a packet")
+		}
+	}
+	if clean.Corrupted() != 0 || dirty.Corrupted() != 1000 {
+		t.Fatalf("counters: clean %d dirty %d", clean.Corrupted(), dirty.Corrupted())
+	}
+	for _, bad := range []float64{-0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("corruption rate %g should panic", bad)
+				}
+			}()
+			NewCorruptor(bad, 1)
+		}()
+	}
+}
+
+// schedule records the drop positions of the first n offers.
+func schedule(d Dropper, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		if d.ShouldDrop() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestSeededDropperIndependence(t *testing.T) {
+	// Same rate, same seed: identical schedules. Same rate, different
+	// seeds: schedules diverge — this is what keeps a cluster of NICs at
+	// one error rate from dropping in lockstep.
+	equal := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	const n = 20000
+	a := schedule(NewRateSeeded(0.01, 42), n)
+	b := schedule(NewRateSeeded(0.01, 42), n)
+	c := schedule(NewRateSeeded(0.01, 43), n)
+	if !equal(a, b) {
+		t.Fatal("same seed produced different drop schedules")
+	}
+	if equal(a, c) {
+		t.Fatal("different seeds produced identical drop schedules")
+	}
+}
+
+func TestNewRateKeepsJitterAgainstPhaseLock(t *testing.T) {
+	// Regression guard for the retransmit-lockstep livelock: a strictly
+	// periodic dropper whose period divides the go-back-N batch size kills
+	// the head of every retransmission burst forever. NewRate must
+	// therefore always hand out jittered droppers.
+	d := NewRate(0.01)
+	if d.JitterFrac == 0 {
+		t.Fatal("NewRate returned an unjittered dropper")
+	}
+	gaps := make(map[int]bool)
+	prev := 0
+	for _, p := range schedule(d, 50000) {
+		gaps[p-prev] = true
+		prev = p
+	}
+	if len(gaps) < 2 {
+		t.Fatal("drop gaps are constant: dropper can phase-lock with the retransmit batch")
 	}
 }
 

@@ -91,6 +91,15 @@ type Stats struct {
 // Total returns the total probe message count.
 func (s Stats) Total() int { return s.HostProbes + s.SwitchProbes }
 
+func (s Stats) add(o Stats) Stats {
+	s.HostProbes += o.HostProbes
+	s.SwitchProbes += o.SwitchProbes
+	s.Elapsed += o.Elapsed
+	s.SwitchesFound += o.SwitchesFound
+	s.HostsFound += o.HostsFound
+	return s
+}
+
 // portContent describes what a probed switch port leads to.
 type portContent struct {
 	kind portKind
@@ -153,6 +162,9 @@ type Mapper struct {
 
 	nextProbeID uint64
 	pending     map[uint64]*sim.Mailbox
+
+	runs   int
+	totals Stats
 }
 
 // New attaches a mapper to a NIC (it takes over the NIC's probe upcall).
@@ -164,6 +176,15 @@ func New(k *sim.Kernel, n *nic.NIC, cfg Config) *Mapper {
 
 // NIC returns the NIC the mapper drives.
 func (m *Mapper) NIC() *nic.NIC { return m.n }
+
+// Runs returns how many mapping runs (on-demand or full) this mapper has
+// executed.
+func (m *Mapper) Runs() int { return m.runs }
+
+// Totals returns per-run statistics accumulated across every mapping run —
+// the probe-count and mapping-time cost of all recovery activity so far,
+// for degradation reports.
+func (m *Mapper) Totals() Stats { return m.totals }
 
 func (m *Mapper) onProbe(f *proto.Frame) {
 	if f.Probe == nil {
@@ -248,7 +269,11 @@ func (m *Mapper) selfScan(p *sim.Proc, st *Stats) (int, bool) {
 // explores everything reachable (full-map baseline mode).
 func (m *Mapper) run(p *sim.Proc, target topology.NodeID) (mp *Map, st Stats) {
 	start := p.Now()
-	defer func() { st.Elapsed = p.Now().Sub(start) }()
+	defer func() {
+		st.Elapsed = p.Now().Sub(start)
+		m.runs++
+		m.totals = m.totals.add(st)
+	}()
 
 	mp = &Map{Hosts: make(map[topology.NodeID]hostLoc)}
 

@@ -162,6 +162,29 @@ func (n *NIC) SetOnNoRoute(fn func(dst topology.NodeID)) { n.opts.OnNoRoute = fn
 // SetTracer wires (or removes, with nil) a packet-event tracer.
 func (n *NIC) SetTracer(tr trace.Tracer) { n.opts.Tracer = tr }
 
+// EmitEvent records a trace event on behalf of a layer above the NIC (the
+// remap manager uses it for remap-lifecycle events). No-op without a tracer.
+func (n *NIC) EmitEvent(kind trace.Kind, peer topology.NodeID) { n.emit(kind, peer, 0, 0) }
+
+// InRemap reports whether the NIC is holding stale-path/no-route upcalls
+// for dst because a remap is (believed to be) in progress. At quiesce this
+// should be false for every destination with pending traffic — true there
+// means the recovery path wedged.
+func (n *NIC) InRemap(dst topology.NodeID) bool { return n.inRemap[dst] }
+
+// PendingDelayedAcks returns the number of armed delayed-ack timers — a
+// quiesce invariant: after traffic drains, every requested ack must have
+// been emitted (piggybacked or explicit) and no timer left armed.
+func (n *NIC) PendingDelayedAcks() int {
+	c := 0
+	for _, t := range n.delayedAck {
+		if t.Pending() {
+			c++
+		}
+	}
+	return c
+}
+
 // SetDropper replaces the send-side error injector (nil disables
 // injection). Used by experiments that need non-default loss models.
 func (n *NIC) SetDropper(d fault.Dropper) {

@@ -1,0 +1,36 @@
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// Recovery aggregates fault-recovery durations — the time traffic to a
+// destination was stalled by a failure before deliveries resumed (MTTR).
+// The chaos engine feeds it one observation per outage a flow experienced.
+type Recovery struct {
+	h Histogram
+}
+
+// Observe records one recovery duration.
+func (r *Recovery) Observe(d time.Duration) { r.h.Add(d) }
+
+// Count returns the number of recoveries observed.
+func (r *Recovery) Count() uint64 { return r.h.Count() }
+
+// Mean returns the mean recovery time.
+func (r *Recovery) Mean() time.Duration { return r.h.Mean() }
+
+// Max returns the worst recovery time.
+func (r *Recovery) Max() time.Duration { return r.h.Max() }
+
+// Quantile returns an upper bound for the q-quantile recovery time.
+func (r *Recovery) Quantile(q float64) time.Duration { return r.h.Quantile(q) }
+
+func (r *Recovery) String() string {
+	if r.Count() == 0 {
+		return "no recoveries observed"
+	}
+	return fmt.Sprintf("n=%d mean=%v p99≤%v max=%v",
+		r.Count(), r.Mean(), r.Quantile(0.99), r.Max())
+}

@@ -96,6 +96,27 @@ func TestKillSwitchDisablesLinks(t *testing.T) {
 	}
 }
 
+func TestKillSwitchKeepsKilledLinksDown(t *testing.T) {
+	// RestoreSwitch revives the switch, not its independently killed
+	// links: a dead cable stays dead through a switch power cycle.
+	nw, hosts := Star(3)
+	sw := nw.Switches()[0]
+	l := nw.Node(hosts[0]).Ports[0]
+	nw.KillLink(l)
+	nw.KillSwitch(sw)
+	nw.RestoreSwitch(sw)
+	if nw.LinkUsable(l) {
+		t.Fatal("killed link usable after switch restore")
+	}
+	if !nw.LinkUsable(nw.Node(hosts[1]).Ports[0]) {
+		t.Fatal("healthy link unusable after switch restore")
+	}
+	nw.RestoreLink(l)
+	if !nw.LinkUsable(l) {
+		t.Fatal("link unusable after both restores")
+	}
+}
+
 func TestKillSwitchOnHostPanics(t *testing.T) {
 	nw, hosts := Star(2)
 	defer func() {
@@ -123,6 +144,36 @@ func TestMoveHost(t *testing.T) {
 	if err := nw.Validate(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestMoveHostRoundTrip(t *testing.T) {
+	// Moving a host away and back leaves a structurally valid network,
+	// and the vacated port is reusable in between.
+	nw, hosts := DoubleStar(4)
+	sws := nw.Switches()
+	origPort := nw.Node(hosts[0]).Ports[0].Other(hosts[0]).Port
+	nw.MoveHost(hosts[0], sws[1], nw.Node(sws[1]).FreePort())
+	if nw.Node(sws[0]).Ports[origPort] != nil {
+		t.Fatal("vacated port still wired")
+	}
+	nw.MoveHost(hosts[0], sws[0], origPort)
+	if n, _ := nw.Neighbor(hosts[0], 0); n != sws[0] {
+		t.Fatalf("host on %v after round trip, want sw0", n)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveHostOnSwitchPanics(t *testing.T) {
+	nw, _ := DoubleStar(4)
+	sws := nw.Switches()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MoveHost on a switch should panic")
+		}
+	}()
+	nw.MoveHost(sws[0], sws[1], 0)
 }
 
 func TestChain(t *testing.T) {

@@ -44,11 +44,19 @@ const (
 	EvGenReset
 	// EvUnreachable: a destination was declared unreachable.
 	EvUnreachable
+	// EvRemapStart: the remap manager launched a mapping run for a peer.
+	EvRemapStart
+	// EvRemapDefer: a remap request was deferred to a backoff or
+	// quarantine release time instead of starting immediately.
+	EvRemapDefer
+	// EvQuarantine: repeated remap failures quarantined the peer.
+	EvQuarantine
 )
 
 var kindNames = [...]string{
 	"send", "inject", "err-drop", "retransmit", "accept", "dup-drop",
 	"ooo-drop", "crc-drop", "ack-tx", "ack-rx", "gen-reset", "unreachable",
+	"remap-start", "remap-defer", "quarantine",
 }
 
 func (k Kind) String() string {
