@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"sanft"
+	"sanft/internal/report"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale traffic (≥10 drops even at 1e-4; slow)")
 	ablations := flag.Bool("ablations", false, "run the protocol ablations instead of figures")
 	extensions := flag.Bool("extensions", false, "run the extension experiments (route quality, burst errors, state scaling, VI reliability levels)")
+	asJSON := flag.Bool("json", false, "emit extension reports as JSON (with -extensions)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
@@ -42,7 +44,7 @@ func main() {
 		return
 	}
 	if *extensions {
-		runExtensions(opt)
+		runExtensions(opt, *asJSON)
 		return
 	}
 
@@ -88,10 +90,14 @@ func runAblations(opt sanft.Options) {
 		sanft.RunFeedbackAblation(65536, nil, nil, opt)))
 }
 
-func runExtensions(opt sanft.Options) {
-	fmt.Println(sanft.RouteQualityString(sanft.RunRouteQuality(opt.Seed)))
-	fmt.Println(sanft.BurstErrorString(sanft.RunBurstErrors(65536, nil, 8, opt)))
-	fmt.Println(sanft.StateScalingString(sanft.RunStateScaling(2, nil)))
-	fmt.Println(sanft.ReliabilityLevelsString(sanft.RunReliabilityLevels(opt)))
-	fmt.Println(sanft.ScalabilityString(sanft.RunScalability(nil, 0, 0, opt)))
+func runExtensions(opt sanft.Options, asJSON bool) {
+	for _, rep := range sanft.ExtensionReports(opt) {
+		if err := report.Write(os.Stdout, rep, asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !asJSON {
+			fmt.Println()
+		}
+	}
 }

@@ -21,12 +21,14 @@ import (
 	"time"
 
 	"sanft/internal/chaos"
+	"sanft/internal/report"
 )
 
 func main() {
 	campaign := flag.String("campaign", "all", "campaign name, or \"all\"")
 	seed := flag.Int64("seed", 1, "campaign seed (drives fault schedule and traffic)")
 	events := flag.Bool("events", false, "print the full event log per campaign")
+	asJSON := flag.Bool("json", false, "emit one JSON object per campaign instead of text")
 	list := flag.Bool("list", false, "list available campaigns and exit")
 	flag.Parse()
 
@@ -54,18 +56,25 @@ func main() {
 	failed := 0
 	for _, c := range todo {
 		rep := c.Run(*seed)
-		fmt.Print(rep)
-		if *events {
+		if err := report.Write(os.Stdout, rep, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *events && !*asJSON {
 			fmt.Println("  event log:")
 			fmt.Println(indent(rep.EventLog))
 		}
 		if !rep.Passed() {
 			failed++
 		}
-		fmt.Println()
+		if !*asJSON {
+			fmt.Println()
+		}
 	}
-	fmt.Printf("%d/%d campaigns passed (%v wall time)\n",
-		len(todo)-failed, len(todo), time.Since(start).Round(time.Millisecond))
+	if !*asJSON {
+		fmt.Printf("%d/%d campaigns passed (%v wall time)\n",
+			len(todo)-failed, len(todo), time.Since(start).Round(time.Millisecond))
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

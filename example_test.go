@@ -12,13 +12,11 @@ import (
 // message into an exported buffer, and observe it arrive intact. The
 // simulation is deterministic, so the output is exact.
 func ExampleNew() {
-	cluster := sanft.New(sanft.Config{
-		NumHosts:  2,
-		FT:        true,
-		Retrans:   sanft.DefaultParams(),
-		ErrorRate: 0.25, // one packet in four vanishes before the wire
-		Seed:      1,
-	})
+	cluster := sanft.New(
+		sanft.WithStar(2),
+		sanft.WithFaultTolerance(sanft.DefaultParams()),
+		sanft.WithErrorRate(0.25), // one packet in four vanishes before the wire
+	)
 	inbox := cluster.EndpointAt(1).Export("inbox", 4096)
 	cluster.K.Spawn("sender", func(p *sanft.Proc) {
 		imp, _ := cluster.EndpointAt(0).Import(cluster.Host(1), "inbox")

@@ -17,14 +17,12 @@ func main() {
 	nw, hosts := sanft.DoubleStar(4)
 	rc := sanft.DefaultParams()
 	rc.PermFailThreshold = 10 * time.Millisecond // fast classification for the demo
-	cluster := sanft.New(sanft.Config{
-		Net:     nw,
-		Hosts:   hosts,
-		FT:      true,
-		Retrans: rc,
-		Mapper:  true, // wire the on-demand mapper to the stale-path detector
-		Seed:    7,
-	})
+	cluster := sanft.New(
+		sanft.WithTopology(nw, hosts),
+		sanft.WithFaultTolerance(rc),
+		sanft.WithMapper(), // wire the on-demand mapper to the stale-path detector
+		sanft.WithSeed(7),
+	)
 
 	src, dst := cluster.EndpointAt(0), cluster.EndpointAt(3) // opposite switches
 	inbox := dst.Export("inbox", 4096)

@@ -15,13 +15,12 @@ func main() {
 	// (32-buffer send queue, 1 ms retransmission timer) and a brutal
 	// injected error rate: one packet in every fifty vanishes at the
 	// sending NIC before reaching the wire.
-	cluster := sanft.New(sanft.Config{
-		NumHosts:  2,
-		FT:        true,
-		Retrans:   sanft.DefaultParams(),
-		ErrorRate: 0.03,
-		Seed:      42,
-	})
+	cluster := sanft.New(
+		sanft.WithStar(2),
+		sanft.WithFaultTolerance(sanft.DefaultParams()),
+		sanft.WithErrorRate(0.03),
+		sanft.WithSeed(42),
+	)
 
 	sender := cluster.EndpointAt(0)
 	receiver := cluster.EndpointAt(1)

@@ -17,13 +17,11 @@ func main() {
 	flag.Parse()
 
 	for _, rate := range []float64{0, 1e-2} {
-		cluster := sanft.New(sanft.Config{
-			NumHosts:  4,
-			FT:        true,
-			Retrans:   sanft.DefaultParams(),
-			ErrorRate: rate,
-			Seed:      1,
-		})
+		cluster := sanft.New(
+			sanft.WithStar(4),
+			sanft.WithFaultTolerance(sanft.DefaultParams()),
+			sanft.WithErrorRate(rate),
+		)
 		var res sanft.AppResult
 		var err error
 		switch *app {

@@ -27,13 +27,12 @@ const (
 )
 
 func main() {
-	cluster := sanft.New(sanft.Config{
-		NumHosts:  numServers + 1,
-		FT:        true,
-		Retrans:   sanft.DefaultParams(),
-		ErrorRate: 0.05, // the storm: 1 in 20 packets silently dropped
-		Seed:      99,
-	})
+	cluster := sanft.New(
+		sanft.WithStar(numServers+1),
+		sanft.WithFaultTolerance(sanft.DefaultParams()),
+		sanft.WithErrorRate(0.05), // the storm: 1 in 20 packets silently dropped
+		sanft.WithSeed(99),
+	)
 
 	client := cluster.EndpointAt(0)
 	var volumes []*sanft.Export

@@ -14,13 +14,12 @@ import (
 
 func main() {
 	ring := sanft.NewTraceRing(256)
-	cluster := sanft.New(sanft.Config{
-		NumHosts:  2,
-		FT:        true,
-		Retrans:   sanft.DefaultParams(),
-		ErrorRate: 0.1, // heavy loss so the trace shows recovery quickly
-		Seed:      3,
-	})
+	cluster := sanft.New(
+		sanft.WithStar(2),
+		sanft.WithFaultTolerance(sanft.DefaultParams()),
+		sanft.WithErrorRate(0.1), // heavy loss so the trace shows recovery quickly
+		sanft.WithSeed(3),
+	)
 	for i := 0; i < 2; i++ {
 		cluster.NICAt(i).SetTracer(ring)
 	}

@@ -1,12 +1,12 @@
 package sanft
 
 import (
-	"fmt"
 	"math"
 	"strings"
 	"time"
 
 	"sanft/internal/core"
+	"sanft/internal/report"
 	"sanft/internal/retrans"
 	"sanft/internal/topology"
 )
@@ -129,32 +129,7 @@ func fmtTimer(d time.Duration) string {
 	return s
 }
 
-// table renders rows of columns with aligned widths.
-func table(header []string, rows [][]string) string {
-	widths := make([]int, len(header))
-	for i, h := range header {
-		widths[i] = len(h)
-	}
-	for _, r := range rows {
-		for i, c := range r {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	var b strings.Builder
-	line := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
-		}
-		b.WriteByte('\n')
-	}
-	line(header)
-	for _, r := range rows {
-		line(r)
-	}
-	return b.String()
-}
+// table renders rows of columns with aligned widths — the shared
+// report.Grid formatter, kept under its historical name for the figure
+// and ablation renderers.
+func table(header []string, rows [][]string) string { return report.Grid(header, rows) }

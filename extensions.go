@@ -93,16 +93,25 @@ func RunRouteQuality(seed int64) []RouteQualityRow {
 	return out
 }
 
-// RouteQualityString renders the comparison.
-func RouteQualityString(rows []RouteQualityRow) string {
-	header := []string{"topology", "pairs", "mean-shortest", "mean-up*/down*", "inflated-pairs", "worst-stretch"}
-	var rs [][]string
+// RouteQualityReport renders the comparison as the shared Report form.
+func RouteQualityReport(rows []RouteQualityRow) *ReportTable {
+	t := &ReportTable{
+		Name:   "Extension: route quality — shortest (on-demand) vs UP*/DOWN* (full-map)",
+		Header: []string{"topology", "pairs", "mean-shortest", "mean-up*/down*", "inflated-pairs", "worst-stretch"},
+	}
 	for _, r := range rows {
-		rs = append(rs, []string{r.Topology, fmt.Sprint(r.Pairs),
+		t.Cells = append(t.Cells, []string{r.Topology, fmt.Sprint(r.Pairs),
 			fmt.Sprintf("%.2f", r.MeanShortest), fmt.Sprintf("%.2f", r.MeanUpDown),
 			fmt.Sprint(r.Inflated), fmt.Sprintf("%.2f", r.WorstStretch)})
 	}
-	return "Extension: route quality — shortest (on-demand) vs UP*/DOWN* (full-map)\n" + table(header, rs)
+	return t
+}
+
+// RouteQualityString renders the comparison.
+//
+// Deprecated: use RouteQualityReport, which also serializes to JSON.
+func RouteQualityString(rows []RouteQualityRow) string {
+	return RouteQualityReport(rows).String()
 }
 
 // ---------------------------------------------------------------------------
@@ -155,15 +164,24 @@ func RunBurstErrors(size int, rates []float64, burstLen int, opt Options) []Burs
 	return out
 }
 
-// BurstErrorString renders the comparison.
-func BurstErrorString(rows []BurstErrorRow) string {
-	header := []string{"rate", "burst-len", "uniform-MB/s", "bursty-MB/s"}
-	var rs [][]string
+// BurstErrorReport renders the comparison as the shared Report form.
+func BurstErrorReport(rows []BurstErrorRow) *ReportTable {
+	t := &ReportTable{
+		Name:   "Extension: uniform vs bursty errors at equal long-run rate (unidirectional)",
+		Header: []string{"rate", "burst-len", "uniform-MB/s", "bursty-MB/s"},
+	}
 	for _, r := range rows {
-		rs = append(rs, []string{fmt.Sprintf("%g", r.Rate), fmt.Sprint(r.BurstLen),
+		t.Cells = append(t.Cells, []string{fmt.Sprintf("%g", r.Rate), fmt.Sprint(r.BurstLen),
 			fmt.Sprintf("%.1f", r.Uniform), fmt.Sprintf("%.1f", r.Bursty)})
 	}
-	return "Extension: uniform vs bursty errors at equal long-run rate (unidirectional)\n" + table(header, rs)
+	return t
+}
+
+// BurstErrorString renders the comparison.
+//
+// Deprecated: use BurstErrorReport, which also serializes to JSON.
+func BurstErrorString(rows []BurstErrorRow) string {
+	return BurstErrorReport(rows).String()
 }
 
 // ---------------------------------------------------------------------------
@@ -205,15 +223,24 @@ func RunStateScaling(procsPerNode int, sizes []int) []StateScalingRow {
 	return out
 }
 
-// StateScalingString renders the comparison.
-func StateScalingString(rows []StateScalingRow) string {
-	header := []string{"nodes", "procs/node", "per-node-queues", "per-connection-queues"}
-	var rs [][]string
+// StateScalingReport renders the comparison as the shared Report form.
+func StateScalingReport(rows []StateScalingRow) *ReportTable {
+	t := &ReportTable{
+		Name:   "Extension: firmware retransmission-state scaling (§4.1.1)",
+		Header: []string{"nodes", "procs/node", "per-node-queues", "per-connection-queues"},
+	}
 	for _, r := range rows {
-		rs = append(rs, []string{fmt.Sprint(r.Nodes), fmt.Sprint(r.ProcsPerNode),
+		t.Cells = append(t.Cells, []string{fmt.Sprint(r.Nodes), fmt.Sprint(r.ProcsPerNode),
 			fmt.Sprint(r.PerNodeQueues), fmt.Sprint(r.PerConnQueues)})
 	}
-	return "Extension: firmware retransmission-state scaling (§4.1.1)\n" + table(header, rs)
+	return t
+}
+
+// StateScalingString renders the comparison.
+//
+// Deprecated: use StateScalingReport, which also serializes to JSON.
+func StateScalingString(rows []StateScalingRow) string {
+	return StateScalingReport(rows).String()
 }
 
 // ---------------------------------------------------------------------------
@@ -257,14 +284,23 @@ func RunReliabilityLevels(opt Options) []ReliabilityLevelRow {
 	}
 }
 
-// ReliabilityLevelsString renders the comparison.
-func ReliabilityLevelsString(rows []ReliabilityLevelRow) string {
-	header := []string{"level", "4B-latency", "uni-64K-MB/s"}
-	var rs [][]string
-	for _, r := range rows {
-		rs = append(rs, []string{r.Level, r.Latency4B.String(), fmt.Sprintf("%.1f", r.UniMBps)})
+// ReliabilityLevelsReport renders the comparison as the shared Report form.
+func ReliabilityLevelsReport(rows []ReliabilityLevelRow) *ReportTable {
+	t := &ReportTable{
+		Name:   "Extension: VI reliability levels",
+		Header: []string{"level", "4B-latency", "uni-64K-MB/s"},
 	}
-	return "Extension: VI reliability levels\n" + table(header, rs)
+	for _, r := range rows {
+		t.Cells = append(t.Cells, []string{r.Level, r.Latency4B.String(), fmt.Sprintf("%.1f", r.UniMBps)})
+	}
+	return t
+}
+
+// ReliabilityLevelsString renders the comparison.
+//
+// Deprecated: use ReliabilityLevelsReport, which also serializes to JSON.
+func ReliabilityLevelsString(rows []ReliabilityLevelRow) string {
+	return ReliabilityLevelsReport(rows).String()
 }
 
 // ---------------------------------------------------------------------------
@@ -357,13 +393,36 @@ func RunScalability(sizes []int, msgBytes, msgsPerPair int, opt Options) []Scala
 	return out
 }
 
-// ScalabilityString renders the scaling table.
-func ScalabilityString(rows []ScalabilityRow) string {
-	header := []string{"hosts", "aggregate-MB/s", "per-host-MB/s", "retransmissions"}
-	var rs [][]string
+// ScalabilityReport renders the scaling table as the shared Report form.
+func ScalabilityReport(rows []ScalabilityRow) *ReportTable {
+	t := &ReportTable{
+		Name:   "Extension: all-to-all scalability on one crossbar (no errors)",
+		Header: []string{"hosts", "aggregate-MB/s", "per-host-MB/s", "retransmissions"},
+	}
 	for _, r := range rows {
-		rs = append(rs, []string{fmt.Sprint(r.Hosts), fmt.Sprintf("%.1f", r.Aggregate),
+		t.Cells = append(t.Cells, []string{fmt.Sprint(r.Hosts), fmt.Sprintf("%.1f", r.Aggregate),
 			fmt.Sprintf("%.1f", r.PerHost), fmt.Sprint(r.Retransmissions)})
 	}
-	return "Extension: all-to-all scalability on one crossbar (no errors)\n" + table(header, rs)
+	return t
+}
+
+// ScalabilityString renders the scaling table.
+//
+// Deprecated: use ScalabilityReport, which also serializes to JSON.
+func ScalabilityString(rows []ScalabilityRow) string {
+	return ScalabilityReport(rows).String()
+}
+
+// ExtensionReports runs every extension experiment with its defaults and
+// returns the reports in presentation order — the single entry point
+// cmd/sanbench renders (text or JSON) through report.Write.
+func ExtensionReports(opt Options) []Report {
+	opt = opt.defaults()
+	return []Report{
+		RouteQualityReport(RunRouteQuality(opt.Seed)),
+		BurstErrorReport(RunBurstErrors(65536, nil, 8, opt)),
+		StateScalingReport(RunStateScaling(2, nil)),
+		ReliabilityLevelsReport(RunReliabilityLevels(opt)),
+		ScalabilityReport(RunScalability(nil, 0, 0, opt)),
+	}
 }

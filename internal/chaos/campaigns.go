@@ -70,7 +70,20 @@ func (r *Report) String() string {
 type Campaign struct {
 	Name  string
 	About string
-	Run   func(seed int64) *Report
+	// run builds and executes the campaign. pre, if non-nil, runs right
+	// after the cluster is built and before any traffic or faults — the
+	// instrumentation hook (attach samplers, grab the Observer).
+	run func(seed int64, pre func(*core.Cluster)) *Report
+}
+
+// Run executes the campaign with the given seed.
+func (c Campaign) Run(seed int64) *Report { return c.run(seed, nil) }
+
+// RunInstrumented executes the campaign, invoking pre on the freshly built
+// cluster before traffic starts. cmd/sanstat uses it to start periodic
+// metric sampling and capture the cluster's Observer.
+func (c Campaign) RunInstrumented(seed int64, pre func(*core.Cluster)) *Report {
+	return c.run(seed, pre)
 }
 
 // finish stops the cluster, audits invariants, and assembles the report.
@@ -91,7 +104,7 @@ func finish(name string, seed int64, e *Engine, r *Run, opts CheckOpts, dur time
 		Remaps:       e.C.Remaps,
 		Unreachables: e.C.Unreachables,
 		RemapStats:   e.C.RemapStats,
-		MTTR:         e.MTTR.String(),
+		MTTR:         e.MTTRSummary(),
 		Violations:   CheckInvariants(e, r, opts),
 	}
 }
@@ -123,8 +136,11 @@ func Campaigns() []Campaign {
 		{
 			Name:  "link-flap",
 			About: "random trunk flaps on a redundant chain; strict delivery",
-			Run: func(seed int64) *Report {
+			run: func(seed int64, pre func(*core.Cluster)) *Report {
 				c, hosts := chainCluster(seed)
+				if pre != nil {
+					pre(c)
+				}
 				e := NewEngine(c, seed)
 				// Pace the traffic across the whole flap window (~60ms); the
 				// 3ms gap keeps the stall floor below remap-length stalls.
@@ -137,7 +153,7 @@ func Campaigns() []Campaign {
 		{
 			Name:  "switch-storm",
 			About: "correlated double switch outage on the Figure-2 tree; loss allowed",
-			Run: func(seed int64) *Report {
+			run: func(seed int64, pre func(*core.Cluster)) *Report {
 				f := topology.NewFig2()
 				hosts := append([]topology.NodeID{f.Mapper}, f.Targets[:3]...)
 				c := core.New(core.Config{
@@ -150,6 +166,9 @@ func Campaigns() []Campaign {
 					Mapper: true,
 					Seed:   seed,
 				})
+				if pre != nil {
+					pre(c)
+				}
 				e := NewEngine(c, seed)
 				// Traffic outlasts both outages (~700ms of storm), so
 				// surviving flows show their recovery stalls.
@@ -167,8 +186,11 @@ func Campaigns() []Campaign {
 		{
 			Name:  "partition-heal",
 			About: "sever and heal the full cut between two halves of the chain",
-			Run: func(seed int64) *Report {
+			run: func(seed int64, pre func(*core.Cluster)) *Report {
 				c, hosts := chainCluster(seed)
+				if pre != nil {
+					pre(c)
+				}
 				sws := c.Net.Switches()
 				e := NewEngine(c, seed)
 				// Demand persists through the 300ms cut, so cross-partition
@@ -195,7 +217,7 @@ func Campaigns() []Campaign {
 		{
 			Name:  "drop-ramp",
 			About: "send-side error rate ramped to 30% and back; strict delivery",
-			Run: func(seed int64) *Report {
+			run: func(seed int64, pre func(*core.Cluster)) *Report {
 				nw, hosts := topology.Star(6)
 				c := core.New(core.Config{
 					Net: nw, Hosts: hosts, FT: true,
@@ -206,6 +228,9 @@ func Campaigns() []Campaign {
 					},
 					Seed: seed,
 				})
+				if pre != nil {
+					pre(c)
+				}
 				e := NewEngine(c, seed)
 				// Traffic spans the whole ramp (~100ms).
 				r := Workload{Pairs: AllPairs(hosts), Msgs: 12, Gap: 10 * time.Millisecond}.Start(e)
@@ -220,8 +245,11 @@ func Campaigns() []Campaign {
 		{
 			Name:  "composite",
 			About: "trunk flapping while the error rate ramps; strict delivery",
-			Run: func(seed int64) *Report {
+			run: func(seed int64, pre func(*core.Cluster)) *Report {
 				c, hosts := chainCluster(seed)
+				if pre != nil {
+					pre(c)
+				}
 				e := NewEngine(c, seed)
 				r := Workload{Pairs: AllPairs(hosts), Msgs: 20, Gap: 3 * time.Millisecond}.Start(e)
 				e.Install(Composite{Parts: []Scenario{

@@ -23,11 +23,15 @@ import (
 	"time"
 
 	"sanft/internal/core"
-	"sanft/internal/stats"
+	"sanft/internal/metrics"
 	"sanft/internal/topology"
 )
 
 // Engine binds scenarios, a workload, and measurement to one cluster run.
+// Its measurements — fault counts and the MTTR (delivery stall) histogram —
+// live in the cluster's metrics registry (chaos.faults and
+// chaos.delivery_stall_ns), so campaign telemetry exports alongside the
+// protocol stack's own.
 type Engine struct {
 	C *core.Cluster
 	// Seed drives every random choice the engine or its scenarios make.
@@ -37,24 +41,39 @@ type Engine struct {
 	// (delivery stall) observation; gaps below it are normal pacing, not
 	// outages. Default 1ms.
 	StallFloor time.Duration
-	// MTTR aggregates per-flow delivery stalls longer than StallFloor —
-	// the engine's measure of how long faults held traffic up.
-	MTTR stats.Recovery
 
 	rng    *rand.Rand
 	events []string
-	faults int
+
+	mttr    *metrics.Histogram
+	faultsC *metrics.Counter
 }
 
 // NewEngine wraps a cluster for chaos experiments. The seed should usually
 // match the cluster's, but any value gives a deterministic run.
 func NewEngine(c *core.Cluster, seed int64) *Engine {
+	reg := c.Metrics()
 	return &Engine{
 		C:          c,
 		Seed:       seed,
 		StallFloor: time.Millisecond,
 		rng:        rand.New(rand.NewSource(seed ^ 0x5eed)),
+		mttr:       reg.Histogram("chaos.delivery_stall_ns", nil),
+		faultsC:    reg.Counter("chaos.faults", nil),
 	}
+}
+
+// MTTR returns the delivery-stall histogram — the engine's measure of how
+// long faults held traffic up.
+func (e *Engine) MTTR() *metrics.Histogram { return e.mttr }
+
+// MTTRSummary renders the delivery-stall digest for reports.
+func (e *Engine) MTTRSummary() string {
+	if e.mttr.Count() == 0 {
+		return "no recoveries observed"
+	}
+	return fmt.Sprintf("n=%d mean=%v p99≤%v max=%v",
+		e.mttr.Count(), e.mttr.Mean(), e.mttr.Quantile(0.99), e.mttr.Max())
 }
 
 // Rand returns the engine's seeded RNG. Scenarios draw their random
@@ -70,12 +89,12 @@ func (e *Engine) Record(format string, args ...any) {
 
 // RecordFault is Record for fault injections; it also counts the fault.
 func (e *Engine) RecordFault(format string, args ...any) {
-	e.faults++
+	e.faultsC.Inc()
 	e.Record(format, args...)
 }
 
 // Faults returns the number of fault injections recorded so far.
-func (e *Engine) Faults() int { return e.faults }
+func (e *Engine) Faults() int { return int(e.faultsC.Value()) }
 
 // Events returns the number of event-log lines recorded so far.
 func (e *Engine) Events() int { return len(e.events) }
@@ -97,7 +116,7 @@ func (e *Engine) Install(ss ...Scenario) {
 // qualifies as a stall.
 func (e *Engine) observeGap(d time.Duration) {
 	if d >= e.StallFloor {
-		e.MTTR.Observe(d)
+		e.mttr.Observe(d)
 	}
 }
 

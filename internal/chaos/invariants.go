@@ -99,9 +99,13 @@ func CheckInvariants(e *Engine, r *Run, o CheckOpts) []Violation {
 		}
 	}
 
-	if o.MaxRemapAttempts > 0 && e.C.RemapStats.Attempts > o.MaxRemapAttempts {
+	// The remap bound audits the metrics registry, not the cluster's
+	// legacy counters: the bound holds over everything the remap managers
+	// recorded, and the checker exercises the same telemetry users see.
+	attempts := e.C.Metrics().CounterTotal("remap.attempts")
+	if o.MaxRemapAttempts > 0 && attempts > uint64(o.MaxRemapAttempts) {
 		bad("remap-bound", "%d mapping runs, bound %d (stats %+v)",
-			e.C.RemapStats.Attempts, o.MaxRemapAttempts, e.C.RemapStats)
+			attempts, o.MaxRemapAttempts, e.C.RemapStats)
 	}
 	return out
 }

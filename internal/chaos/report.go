@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"sanft/internal/report"
+)
+
+// table renders the report as the shared report.Table form, which backs
+// the Rows and WriteJSON halves of the report.Report interface. The
+// human-readable String form stays the multi-line degradation summary.
+func (r *Report) table() *report.Table {
+	verdict := "PASS"
+	if !r.Passed() {
+		verdict = "FAIL"
+	}
+	violations := ""
+	for i, v := range r.Violations {
+		if i > 0 {
+			violations += "; "
+		}
+		violations += v.String()
+	}
+	return &report.Table{
+		Name: r.Title(),
+		Header: []string{
+			"verdict", "faults", "events", "pairs", "expected", "delivered",
+			"duplicates", "remaps", "unreachables", "remap_attempts",
+			"remap_coalesced", "remap_deferred", "quarantines", "mttr",
+			"violations",
+		},
+		Cells: [][]string{{
+			verdict,
+			strconv.Itoa(r.Faults),
+			strconv.Itoa(r.Events),
+			strconv.Itoa(r.Pairs),
+			strconv.Itoa(r.Expected),
+			strconv.Itoa(r.Delivered),
+			strconv.Itoa(r.Duplicates),
+			strconv.Itoa(r.Remaps),
+			strconv.Itoa(r.Unreachables),
+			strconv.Itoa(r.RemapStats.Attempts),
+			strconv.Itoa(r.RemapStats.Coalesced),
+			strconv.Itoa(r.RemapStats.Deferred),
+			strconv.Itoa(r.RemapStats.Quarantines),
+			r.MTTR,
+			violations,
+		}},
+	}
+}
+
+// Title implements report.Report.
+func (r *Report) Title() string {
+	return fmt.Sprintf("campaign %s (seed %d)", r.Campaign, r.Seed)
+}
+
+// Rows implements report.Report.
+func (r *Report) Rows() []report.Row { return r.table().Rows() }
+
+// WriteJSON implements report.Report: the campaign outcome as one JSON
+// object (the event log is excluded; use EventLog directly when needed).
+func (r *Report) WriteJSON(w io.Writer) error { return r.table().WriteJSON(w) }

@@ -11,6 +11,7 @@ import (
 	"sanft/internal/fabric"
 	"sanft/internal/fault"
 	"sanft/internal/mapping"
+	"sanft/internal/metrics"
 	"sanft/internal/nic"
 	"sanft/internal/retrans"
 	"sanft/internal/routing"
@@ -56,6 +57,11 @@ type Config struct {
 	// silently retrying forever.
 	OnUnreachable func(src, dst topology.NodeID)
 
+	// Metrics tunes the observability layer. The zero value still builds
+	// a full registry (all subsystems record unconditionally); set
+	// SampleEvery to also collect a periodic time series.
+	Metrics metrics.Config
+
 	// Seed drives all deterministic randomness.
 	Seed int64
 }
@@ -74,6 +80,7 @@ type Cluster struct {
 	remaps  map[topology.NodeID]*remapManager
 
 	onUnreachable func(src, dst topology.NodeID)
+	obs           *metrics.Observer
 
 	// Remaps counts completed on-demand remap operations.
 	Remaps int
@@ -101,6 +108,8 @@ func New(cfg Config) *Cluster {
 		cfg.Fabric = fabric.DefaultConfig()
 	}
 	k := sim.New(cfg.Seed)
+	obs := metrics.NewObserver(cfg.Metrics)
+	reg := obs.Registry()
 	c := &Cluster{
 		K:             k,
 		Net:           cfg.Net,
@@ -112,7 +121,11 @@ func New(cfg Config) *Cluster {
 		mappers:       make(map[topology.NodeID]*mapping.Mapper),
 		remaps:        make(map[topology.NodeID]*remapManager),
 		onUnreachable: cfg.OnUnreachable,
+		obs:           obs,
 	}
+	// Rebind before any traffic so every fabric event lands in the
+	// cluster-wide registry rather than the fabric's private one.
+	c.Fab.BindMetrics(reg)
 	for _, h := range cfg.Hosts {
 		var dropper fault.Dropper
 		if cfg.ErrorRate > 0 {
@@ -126,6 +139,7 @@ func New(cfg Config) *Cluster {
 			Retrans: cfg.Retrans,
 			Cost:    cfg.Cost,
 			Dropper: dropper,
+			Metrics: reg,
 		})
 		c.nics[h] = n
 		c.eps[h] = vmmc.NewEndpoint(k, n, c.Dir)
@@ -154,8 +168,21 @@ func New(cfg Config) *Cluster {
 			c.nics[h].SetOnNoRoute(rm.trigger)
 		}
 	}
+	if cfg.Metrics.SampleEvery > 0 {
+		obs.StartSampling(k, cfg.Metrics.SampleEvery)
+	}
 	return c
 }
+
+// Observer returns the cluster's observability handle: its registry is
+// the single place every subsystem (NIC, fabric, retransmission protocol,
+// mapper, remap manager) records into, and its exporters render the
+// collected telemetry.
+func (c *Cluster) Observer() *metrics.Observer { return c.obs }
+
+// Metrics returns the cluster-wide metrics registry (shorthand for
+// Observer().Registry()).
+func (c *Cluster) Metrics() *metrics.Registry { return c.obs.Registry() }
 
 // NIC returns the NIC of host h.
 func (c *Cluster) NIC(h topology.NodeID) *nic.NIC { return c.nics[h] }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sanft/internal/mapping"
+	"sanft/internal/metrics"
 	"sanft/internal/sim"
 	"sanft/internal/topology"
 	"sanft/internal/trace"
@@ -103,6 +104,7 @@ type remapManager struct {
 	pol RemapPolicy
 	rng *rand.Rand
 	dst map[topology.NodeID]*remapState
+	mx  *metrics.Scope
 }
 
 func newRemapManager(c *Cluster, h topology.NodeID, m *mapping.Mapper, pol RemapPolicy, seed int64) *remapManager {
@@ -113,6 +115,7 @@ func newRemapManager(c *Cluster, h topology.NodeID, m *mapping.Mapper, pol Remap
 		pol: pol,
 		rng: rand.New(rand.NewSource(seed)),
 		dst: make(map[topology.NodeID]*remapState),
+		mx:  c.nics[h].MetricsScope(),
 	}
 }
 
@@ -140,16 +143,19 @@ func (rm *remapManager) trigger(dst topology.NodeID) {
 	if st.running {
 		st.pending = true
 		rm.c.RemapStats.Coalesced++
+		rm.mx.Add("remap.coalesced", 1)
 		return
 	}
 	now := rm.c.K.Now()
 	if now.Before(st.notBefore) {
 		if st.armed {
 			rm.c.RemapStats.Coalesced++
+			rm.mx.Add("remap.coalesced", 1)
 			return
 		}
 		st.armed = true
 		rm.c.RemapStats.Deferred++
+		rm.mx.Add("remap.deferred", 1)
 		rm.c.nics[rm.h].EmitEvent(trace.EvRemapDefer, dst)
 		rm.c.K.At(st.notBefore, func() {
 			st.armed = false
@@ -164,13 +170,16 @@ func (rm *remapManager) attempt(dst topology.NodeID, st *remapState) {
 	st.running = true
 	st.seq++
 	rm.c.RemapStats.Attempts++
+	rm.mx.Add("remap.attempts", 1)
 	n := rm.c.nics[rm.h]
 	n.EmitEvent(trace.EvRemapStart, dst)
 	rm.c.K.Spawn(fmt.Sprintf("remap-%d-%d.%d", rm.h, dst, st.seq), func(p *sim.Proc) {
-		_, ok := rm.m.Remap(p, dst)
+		mst, ok := rm.m.Remap(p, dst)
 		st.running = false
 		if ok {
 			rm.c.Remaps++
+			rm.mx.Add("remap.successes", 1)
+			rm.mx.Observe("remap.latency_ns", mst.Elapsed)
 			st.failures = 0
 			st.backoff = rm.pol.Backoff
 			st.release = rm.pol.Quarantine
@@ -182,12 +191,14 @@ func (rm *remapManager) attempt(dst topology.NodeID, st *remapState) {
 			return
 		}
 		rm.c.Unreachables++
+		rm.mx.Add("remap.failures", 1)
 		st.failures++
 		now := p.Now()
 		if rm.pol.QuarantineAfter > 0 && st.failures >= rm.pol.QuarantineAfter {
 			if !st.quarantined {
 				st.quarantined = true
 				rm.c.RemapStats.Quarantines++
+				rm.mx.Add("remap.quarantines", 1)
 				n.EmitEvent(trace.EvQuarantine, dst)
 				if rm.c.onUnreachable != nil {
 					rm.c.onUnreachable(rm.h, dst)

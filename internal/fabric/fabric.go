@@ -2,8 +2,10 @@ package fabric
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
+	"sanft/internal/metrics"
 	"sanft/internal/sim"
 	"sanft/internal/topology"
 )
@@ -66,6 +68,8 @@ type Fabric struct {
 	transitHook func(*Packet) bool
 
 	stats Stats
+	reg   *metrics.Registry
+	mx    *metrics.Scope
 }
 
 // New returns a fabric over network nw driven by kernel k.
@@ -76,7 +80,7 @@ func New(k *sim.Kernel, nw *topology.Network, cfg Config) *Fabric {
 	if cfg.Watchdog <= 0 {
 		panic("fabric: Watchdog must be positive")
 	}
-	return &Fabric{
+	f := &Fabric{
 		k:       k,
 		nw:      nw,
 		cfg:     cfg,
@@ -84,7 +88,43 @@ func New(k *sim.Kernel, nw *topology.Network, cfg Config) *Fabric {
 		deliver: make(map[topology.NodeID]func(*Packet)),
 		worms:   make(map[*worm]struct{}),
 	}
+	f.BindMetrics(metrics.NewRegistry())
+	return f
 }
+
+// BindMetrics points the fabric's instrumentation at reg (core.New calls
+// this with the cluster-wide registry before any traffic flows; standalone
+// fabrics keep the private registry New installed). Per-link busy time and
+// utilization are published as derived gauges, one per directed channel.
+func (f *Fabric) BindMetrics(reg *metrics.Registry) {
+	f.reg = reg
+	f.mx = reg.Scope(nil)
+	for _, l := range f.nw.Links {
+		for dir := 0; dir < 2; dir++ {
+			key := chanKey{l.ID, dir}
+			ls := metrics.L("link", strconv.Itoa(l.ID), "dir", strconv.Itoa(dir))
+			reg.GaugeFunc("fabric.link.busy_ns", ls, func() float64 {
+				if cs := f.chans[key]; cs != nil {
+					return float64(cs.busy)
+				}
+				return 0
+			})
+			reg.GaugeFunc("fabric.link.utilization", ls, func() float64 {
+				now := f.k.Now()
+				if now <= 0 {
+					return 0
+				}
+				if cs := f.chans[key]; cs != nil {
+					return float64(cs.busy) / float64(now)
+				}
+				return 0
+			})
+		}
+	}
+}
+
+// Metrics returns the registry the fabric currently records into.
+func (f *Fabric) Metrics() *metrics.Registry { return f.reg }
 
 // Kernel returns the driving kernel.
 func (f *Fabric) Kernel() *sim.Kernel { return f.k }
@@ -151,6 +191,7 @@ func (f *Fabric) Inject(src topology.NodeID, pkt *Packet) {
 	pkt.Src = src
 	pkt.Injected = f.k.Now()
 	f.stats.Injected++
+	f.mx.Add("fabric.pkts_injected", 1)
 	n := f.nw.Node(src)
 	if n.Kind != topology.Host {
 		panic(fmt.Sprintf("fabric: inject from non-host %s", n.Name))
@@ -177,6 +218,7 @@ func (f *Fabric) drop(pkt *Packet, reason DropReason) {
 		f.stats.Dropped = make(map[DropReason]uint64)
 	}
 	f.stats.Dropped[reason]++
+	f.reg.Counter("fabric.pkts_dropped", metrics.L("reason", reason.String())).Inc()
 	if pkt.OnDropped != nil {
 		pkt.OnDropped(reason)
 	}

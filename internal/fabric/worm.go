@@ -23,6 +23,7 @@ type worm struct {
 	waiting  *channelState // non-nil while parked in a waiter queue
 	waitKey  chanKey
 	waitNext topology.NodeID // node at far end of the awaited channel
+	parkedAt sim.Time        // when the worm parked (for blocking-time accounting)
 
 	watchdog      *sim.Timer
 	dead          bool
@@ -56,13 +57,25 @@ func (w *worm) request(key chanKey, next topology.NodeID) {
 	}
 	cs.waiters = append(cs.waiters, w)
 	w.waiting, w.waitKey, w.waitNext = cs, key, next
+	w.parkedAt = w.f.k.Now()
 	if w.watchdog == nil {
 		w.watchdog = w.f.k.After(w.f.cfg.Watchdog, func() {
 			w.watchdog = nil
 			w.f.stats.WatchdogResets++
+			w.f.mx.Add("fabric.watchdog_resets", 1)
 			w.die(DropWatchdog)
 		})
 	}
+}
+
+// noteUnparked records how long the worm was blocked waiting for a channel
+// — the wormhole head-of-line blocking time. Called on grant and on death
+// while parked.
+func (w *worm) noteUnparked() {
+	if w.waiting == nil {
+		return
+	}
+	w.f.mx.Observe("fabric.worm.block_ns", w.f.k.Now().Sub(w.parkedAt))
 }
 
 // granted is called (from request or from a release handing the channel
@@ -77,6 +90,7 @@ func (w *worm) granted(key chanKey, next topology.NodeID) {
 	cs := f.chanState(key)
 	cs.holder = w
 	cs.grabbed = now
+	w.noteUnparked()
 	w.waiting = nil
 	if w.watchdog != nil {
 		w.watchdog.Cancel()
@@ -161,6 +175,8 @@ func (w *worm) deliverTo(h topology.NodeID) {
 	w.pkt.Delivered = f.k.Now()
 	f.stats.Delivered++
 	f.stats.BytesDelivered += uint64(w.pkt.Size)
+	f.mx.Add("fabric.pkts_delivered", 1)
+	f.mx.Add("fabric.bytes_delivered", uint64(w.pkt.Size))
 	if fn := f.deliver[h]; fn != nil {
 		fn(w.pkt)
 	}
@@ -188,6 +204,7 @@ func (w *worm) finish() {
 		w.watchdog = nil
 	}
 	if w.waiting != nil {
+		w.noteUnparked()
 		ws := w.waiting.waiters
 		for i, cand := range ws {
 			if cand == w {

@@ -38,6 +38,7 @@ import (
 	"sort"
 	"time"
 
+	"sanft/internal/metrics"
 	"sanft/internal/nic"
 	"sanft/internal/proto"
 	"sanft/internal/routing"
@@ -165,11 +166,18 @@ type Mapper struct {
 
 	runs   int
 	totals Stats
+	mx     *metrics.Scope
 }
 
 // New attaches a mapper to a NIC (it takes over the NIC's probe upcall).
+// The mapper records into the NIC's metrics scope, so its probe counts and
+// run durations carry the same host label as the NIC's own telemetry.
 func New(k *sim.Kernel, n *nic.NIC, cfg Config) *Mapper {
-	m := &Mapper{k: k, n: n, cfg: cfg.Defaults(), pending: make(map[uint64]*sim.Mailbox)}
+	m := &Mapper{
+		k: k, n: n, cfg: cfg.Defaults(),
+		pending: make(map[uint64]*sim.Mailbox),
+		mx:      n.MetricsScope(),
+	}
 	n.SetOnProbe(m.onProbe)
 	return m
 }
@@ -224,6 +232,7 @@ func (m *Mapper) sendProbeAndWait(p *sim.Proc, typ proto.FrameType, route, ret r
 // return route for the reply.
 func (m *Mapper) probeHost(p *sim.Proc, st *Stats, route, ret routing.Route) (topology.NodeID, bool) {
 	st.HostProbes++
+	m.mx.Add("mapping.host_probes", 1)
 	f, ok := m.sendProbeAndWait(p, proto.FrameHostProbe, route, ret)
 	if !ok || f.Type != proto.FrameHostProbeReply {
 		return topology.None, false
@@ -234,6 +243,7 @@ func (m *Mapper) probeHost(p *sim.Proc, st *Stats, route, ret routing.Route) (to
 // probeEcho checks whether an echo probe sent along `route` comes back.
 func (m *Mapper) probeEcho(p *sim.Proc, st *Stats, route routing.Route) bool {
 	st.SwitchProbes++
+	m.mx.Add("mapping.switch_probes", 1)
 	f, ok := m.sendProbeAndWait(p, proto.FrameEchoProbe, route, nil)
 	return ok && f.Type == proto.FrameEchoProbe
 }
@@ -273,6 +283,8 @@ func (m *Mapper) run(p *sim.Proc, target topology.NodeID) (mp *Map, st Stats) {
 		st.Elapsed = p.Now().Sub(start)
 		m.runs++
 		m.totals = m.totals.add(st)
+		m.mx.Add("mapping.runs", 1)
+		m.mx.Observe("mapping.run_ns", st.Elapsed)
 	}()
 
 	mp = &Map{Hosts: make(map[topology.NodeID]hostLoc)}

@@ -1,0 +1,261 @@
+// Package metrics is the simulator's deterministic observability layer:
+// counters, gauges, and HDR-style histograms keyed by (name, labels), with
+// periodic time-series sampling driven by the simulation kernel.
+//
+// Design constraints, in order:
+//
+//   - Determinism. Identical seeds must produce byte-identical metric
+//     dumps. All iteration is in sorted key order, all timestamps are
+//     simulated time, and no wall-clock or map-order nondeterminism can
+//     reach an export.
+//   - Zero configuration. Every producer (NIC, fabric, mapper, remap
+//     manager, chaos engine) instruments unconditionally against a
+//     Registry; a component built standalone gets a private registry, a
+//     component built by core.New shares the cluster-wide one. No nil
+//     checks on hot paths.
+//   - Cheap hot paths. Producers hold a Scope, which caches metric
+//     handles per name so steady-state recording is one map lookup and an
+//     integer add.
+//
+// The taxonomy (see DESIGN.md) uses dotted metric names prefixed by
+// subsystem — nic.*, fabric.*, retrans.*, mapping.*, remap.*, chaos.* —
+// and labels for the identity dimensions (host, link, dir, reason).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Label is one identity dimension of a metric (e.g. host=3).
+type Label struct {
+	Key, Value string
+}
+
+// Labels is a set of identity dimensions. Order does not matter; the
+// registry canonicalizes by sorting on key.
+type Labels []Label
+
+// L builds a Labels from alternating key, value strings:
+// L("host", "3", "dir", "0").
+func L(kv ...string) Labels {
+	if len(kv)%2 != 0 {
+		panic("metrics: L takes alternating key, value pairs")
+	}
+	ls := make(Labels, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		ls = append(ls, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	return ls
+}
+
+// canonical returns the sorted "k=v,k=v" form of the label set.
+func (ls Labels) canonical() string {
+	if len(ls) == 0 {
+		return ""
+	}
+	sorted := append(Labels(nil), ls...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// ident builds the full metric identity: name{k=v,...}, or bare name when
+// unlabeled. Idents are the keys of every export, so they sort text-wise.
+func ident(name string, ls Labels) string {
+	c := ls.canonical()
+	if c == "" {
+		return name
+	}
+	return name + "{" + c + "}"
+}
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	r *Registry
+	v uint64
+}
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) {
+	c.v += n
+	c.r.epoch++
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is an instantaneous value set by its producer.
+type Gauge struct {
+	r *Registry
+	v float64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	g.v = v
+	g.r.epoch++
+}
+
+// Add shifts the gauge's value by d.
+func (g *Gauge) Add(d float64) { g.Set(g.v + d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Registry holds every metric of one system instance. It is not safe for
+// concurrent use: like the simulation kernel it serves, all access happens
+// on one logical thread.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() float64
+	hists    map[string]*Histogram
+
+	// epoch increments on every recorded observation (not on gauge-func
+	// reads); the sampler uses it to suppress samples of an idle system.
+	epoch uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() float64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Epoch returns the activity epoch: it changes iff an observation was
+// recorded since the last change.
+func (r *Registry) Epoch() uint64 { return r.epoch }
+
+// Counter returns (creating if needed) the counter name{labels}.
+func (r *Registry) Counter(name string, ls Labels) *Counter {
+	id := ident(name, ls)
+	c := r.counters[id]
+	if c == nil {
+		c = &Counter{r: r}
+		r.counters[id] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge name{labels}.
+func (r *Registry) Gauge(name string, ls Labels) *Gauge {
+	id := ident(name, ls)
+	g := r.gauges[id]
+	if g == nil {
+		g = &Gauge{r: r}
+		r.gauges[id] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a derived gauge evaluated at sample/export time.
+// Re-registering an ident replaces the previous function.
+func (r *Registry) GaugeFunc(name string, ls Labels, fn func() float64) {
+	r.gaugeFns[ident(name, ls)] = fn
+}
+
+// Histogram returns (creating if needed) the histogram name{labels}.
+func (r *Registry) Histogram(name string, ls Labels) *Histogram {
+	id := ident(name, ls)
+	h := r.hists[id]
+	if h == nil {
+		h = &Histogram{r: r}
+		r.hists[id] = h
+	}
+	return h
+}
+
+// CounterTotal sums every counter whose name matches, across all label
+// sets — e.g. CounterTotal("remap.attempts") over all hosts.
+func (r *Registry) CounterTotal(name string) uint64 {
+	var t uint64
+	prefix := name + "{"
+	for id, c := range r.counters {
+		if id == name || strings.HasPrefix(id, prefix) {
+			t += c.v
+		}
+	}
+	return t
+}
+
+// Scope is a producer's cached view of a registry under a fixed label set.
+// It turns steady-state recording into a single map lookup, so hot paths
+// (the NIC firmware loop) can record unconditionally.
+type Scope struct {
+	r        *Registry
+	labels   Labels
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// Scope returns a cached handle with the given labels attached to every
+// metric recorded through it.
+func (r *Registry) Scope(ls Labels) *Scope {
+	return &Scope{
+		r:        r,
+		labels:   ls,
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Registry returns the underlying registry.
+func (s *Scope) Registry() *Registry { return s.r }
+
+// Labels returns the scope's label set.
+func (s *Scope) Labels() Labels { return s.labels }
+
+// Counter returns the scope-labeled counter, cached by name.
+func (s *Scope) Counter(name string) *Counter {
+	c := s.counters[name]
+	if c == nil {
+		c = s.r.Counter(name, s.labels)
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Add increases the scope-labeled counter name by n.
+func (s *Scope) Add(name string, n uint64) { s.Counter(name).Add(n) }
+
+// Histogram returns the scope-labeled histogram, cached by name.
+func (s *Scope) Histogram(name string) *Histogram {
+	h := s.hists[name]
+	if h == nil {
+		h = s.r.Histogram(name, s.labels)
+		s.hists[name] = h
+	}
+	return h
+}
+
+// Observe records one duration in the scope-labeled histogram name.
+func (s *Scope) Observe(name string, d time.Duration) { s.Histogram(name).Observe(d) }
+
+// Gauge returns the scope-labeled gauge.
+func (s *Scope) Gauge(name string) *Gauge { return s.r.Gauge(name, s.labels) }
+
+// GaugeFunc registers a scope-labeled derived gauge.
+func (s *Scope) GaugeFunc(name string, fn func() float64) {
+	s.r.GaugeFunc(name, s.labels, fn)
+}
+
+// HostLabels is the conventional label set for per-host subsystems.
+func HostLabels(host int) Labels { return L("host", fmt.Sprint(host)) }

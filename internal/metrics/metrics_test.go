@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"sanft/internal/sim"
+)
+
+func TestBucketMapping(t *testing.T) {
+	// Every value maps into a bucket whose decoded upper bound is ≥ the
+	// value, and bucket indexes are monotone in the value.
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 15, 31, 32, 33, 47, 63, 64, 65, 127, 128,
+		1000, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucket index not monotone at v=%d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+		if u := bucketUpper(idx); u < v {
+			t.Errorf("bucketUpper(%d)=%d < v=%d", idx, u, v)
+		}
+	}
+	// Exhaustive check over the exact range: below 2^subBits buckets are
+	// unit-wide, so decode must be exact.
+	for v := int64(0); v < 1<<histSubBits; v++ {
+		if got := bucketUpper(bucketIndex(v)); got != v {
+			t.Fatalf("exact range: decode(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestBucketRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(1 << 50)
+		u := bucketUpper(bucketIndex(v))
+		if u < v {
+			t.Fatalf("upper bound %d below value %d", u, v)
+		}
+		if v >= 1<<histSubBits && float64(u-v) > 0.07*float64(v) {
+			t.Fatalf("relative error too large: v=%d upper=%d", v, u)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", nil)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Min() != time.Microsecond || h.Max() != 1000*time.Microsecond {
+		t.Fatalf("min/max %v/%v", h.Min(), h.Max())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 450*time.Microsecond || p50 > 550*time.Microsecond {
+		t.Errorf("p50 %v outside 450–550µs", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 950*time.Microsecond || p99 > 1050*time.Microsecond {
+		t.Errorf("p99 %v outside 950–1050µs", p99)
+	}
+	if got := h.Mean(); got < 480*time.Microsecond || got > 520*time.Microsecond {
+		t.Errorf("mean %v", got)
+	}
+}
+
+func TestLabelsCanonical(t *testing.T) {
+	a := ident("m", L("b", "2", "a", "1"))
+	b := ident("m", L("a", "1", "b", "2"))
+	if a != b || a != "m{a=1,b=2}" {
+		t.Fatalf("canonicalization: %q vs %q", a, b)
+	}
+	if ident("m", nil) != "m" {
+		t.Fatal("bare ident")
+	}
+}
+
+func TestCounterTotalAcrossLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("remap.attempts", L("host", "0")).Add(3)
+	r.Counter("remap.attempts", L("host", "1")).Add(4)
+	r.Counter("remap.attempts.other", nil).Add(100) // must not match
+	if got := r.CounterTotal("remap.attempts"); got != 7 {
+		t.Fatalf("CounterTotal = %d, want 7", got)
+	}
+}
+
+func TestScopeCachesHandles(t *testing.T) {
+	r := NewRegistry()
+	s := r.Scope(L("host", "3"))
+	c1 := s.Counter("nic.pkts-sent")
+	c1.Add(5)
+	if c2 := s.Counter("nic.pkts-sent"); c2 != c1 {
+		t.Fatal("scope returned a different handle for the same name")
+	}
+	if got := r.Counter("nic.pkts-sent", L("host", "3")).Value(); got != 5 {
+		t.Fatalf("registry sees %d", got)
+	}
+}
+
+func TestEpochSuppression(t *testing.T) {
+	k := sim.New(1)
+	o := NewObserver(Config{})
+	c := o.Registry().Counter("x", nil)
+	o.Registry().GaugeFunc("derived", nil, func() float64 { return 42 })
+
+	// Activity in the first two intervals only.
+	k.After(500*time.Microsecond, func() { c.Inc() })
+	k.After(1500*time.Microsecond, func() { c.Inc() })
+	o.StartSampling(k, time.Millisecond)
+	k.RunFor(10 * time.Millisecond)
+
+	// Two active intervals → two samples; the remaining eight idle ticks
+	// are suppressed (gauge funcs do not count as activity).
+	if n := len(o.Samples()); n != 2 {
+		t.Fatalf("got %d samples, want 2: %+v", n, o.Samples())
+	}
+	if o.Samples()[1].Gauges["derived"] != 42 {
+		t.Fatal("gauge func not evaluated in sample")
+	}
+}
+
+func TestMaxSamplesCap(t *testing.T) {
+	k := sim.New(1)
+	o := NewObserver(Config{MaxSamples: 3})
+	c := o.Registry().Counter("x", nil)
+	o.StartSampling(k, time.Millisecond)
+	tick := func() {}
+	tick = func() { c.Inc(); k.After(time.Millisecond, tick) }
+	k.After(0, tick)
+	k.RunFor(20 * time.Millisecond)
+	if n := len(o.Samples()); n != 3 {
+		t.Fatalf("cap ignored: %d samples", n)
+	}
+}
+
+func TestJSONLDeterminism(t *testing.T) {
+	run := func() string {
+		o := NewObserver(Config{})
+		r := o.Registry()
+		// Insert in two different orders via shuffled names.
+		names := []string{"b.two", "a.one", "c.three", "nic.pkts"}
+		for _, n := range names {
+			r.Counter(n, L("host", "1")).Add(7)
+		}
+		r.Gauge("g", nil).Set(1.5)
+		h := r.Histogram("lat", L("host", "1"))
+		for i := 0; i < 100; i++ {
+			h.Observe(time.Duration(i) * time.Microsecond)
+		}
+		o.SampleNow(12345)
+		var buf bytes.Buffer
+		if err := o.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("JSONL not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestPrometheusExportSortedAndMangled(t *testing.T) {
+	o := NewObserver(Config{})
+	r := o.Registry()
+	r.Counter("nic.pkts-sent", L("host", "0")).Add(2)
+	r.Counter("fabric.watchdog_resets", nil).Add(1)
+	r.Histogram("remap.latency_ns", L("host", "0")).Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := o.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`nic_pkts_sent{host="0"} 2`,
+		"fabric_watchdog_resets 1",
+		`remap_latency_ns_count{host="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Lines must be sorted per section.
+	var counterLines []string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "fabric_") || strings.HasPrefix(l, "nic_") {
+			counterLines = append(counterLines, l)
+		}
+	}
+	if !sort.StringsAreSorted(counterLines) {
+		t.Errorf("counter lines not sorted: %v", counterLines)
+	}
+}
+
+func TestSnapshotSparseBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", nil)
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(1 << 30)
+	s := h.Snapshot()
+	if len(s.Bkts) != 2 {
+		t.Fatalf("want 2 sparse buckets, got %v", s.Bkts)
+	}
+	if s.Bkts[0][0] != 3 || s.Bkts[0][1] != 2 {
+		t.Fatalf("first bucket %v", s.Bkts[0])
+	}
+	if s.Count != 3 || s.MaxNS != 1<<30 {
+		t.Fatalf("snapshot %+v", s)
+	}
+}

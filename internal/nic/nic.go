@@ -7,6 +7,7 @@ import (
 
 	"sanft/internal/fabric"
 	"sanft/internal/fault"
+	"sanft/internal/metrics"
 	"sanft/internal/proto"
 	"sanft/internal/retrans"
 	"sanft/internal/routing"
@@ -46,6 +47,10 @@ type Options struct {
 	// Tracer, if non-nil, receives a packet-level event per protocol
 	// action (see internal/trace). Debugging aid; zero cost when nil.
 	Tracer trace.Tracer
+	// Metrics is the cluster-wide registry this NIC records into. Nil
+	// gives the NIC a private registry, so instrumentation never needs a
+	// nil check.
+	Metrics *metrics.Registry
 }
 
 // txItem is one frame queued for transmission.
@@ -95,6 +100,14 @@ type NIC struct {
 	opts    Options
 
 	ctr *stats.Counters
+	mx  *metrics.Scope
+}
+
+// inc bumps both the legacy per-NIC counter and the metrics-layer counter
+// (namespaced nic.*, labeled with this host).
+func (n *NIC) inc(name string, k uint64) {
+	n.ctr.Inc(name, k)
+	n.mx.Add("nic."+name, k)
 }
 
 // emit records a trace event if a tracer is wired.
@@ -134,14 +147,41 @@ func New(k *sim.Kernel, fab *fabric.Fabric, node topology.NodeID, opts Options) 
 	if n.dropper == nil {
 		n.dropper = fault.None{}
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	n.mx = reg.Scope(metrics.HostLabels(int(node)))
 	if opts.FT {
 		n.snd = retrans.NewSender(opts.Retrans)
 		n.rcv = retrans.NewReceiver(opts.Retrans)
 		n.scheduleTimer()
 	}
+	n.registerGauges()
 	fab.AttachHost(node, n.onWire)
 	return n
 }
+
+// registerGauges publishes the NIC's instantaneous state as derived
+// gauges: DMA/firmware occupancy, SRAM pool, and protocol queue depth.
+func (n *NIC) registerGauges() {
+	n.mx.GaugeFunc("nic.cpu.busy_ns", func() float64 { return float64(n.cpu.BusyTime()) })
+	n.mx.GaugeFunc("nic.cpu.dispatches", func() float64 { return float64(n.cpu.Served()) })
+	n.mx.GaugeFunc("nic.pci.busy_ns", func() float64 { return float64(n.pci.BusyTime()) })
+	n.mx.GaugeFunc("nic.pci.dispatches", func() float64 { return float64(n.pci.Served()) })
+	n.mx.GaugeFunc("nic.sram.free_buffers", func() float64 { return float64(n.freeBuffers) })
+	n.mx.GaugeFunc("nic.sram.in_use", func() float64 {
+		return float64(n.opts.Retrans.QueueSize - n.freeBuffers)
+	})
+	n.mx.GaugeFunc("nic.tx.queue_depth", func() float64 { return float64(len(n.txQueue)) })
+	if n.snd != nil {
+		n.mx.GaugeFunc("retrans.queue_depth", func() float64 { return float64(n.snd.TotalUnacked()) })
+	}
+}
+
+// MetricsScope returns the NIC's host-labeled metrics scope, shared with
+// the layers stacked on this NIC (mapper, remap manager).
+func (n *NIC) MetricsScope() *metrics.Scope { return n.mx }
 
 // Node returns the host this NIC belongs to.
 func (n *NIC) Node() topology.NodeID { return n.node }
@@ -264,7 +304,7 @@ func (n *NIC) Send(p *sim.Proc, frame *proto.Frame) {
 	// Reserve a send buffer; block while the pool is exhausted. This is
 	// where a small NIC send queue throttles the sender.
 	for n.freeBuffers == 0 {
-		n.ctr.Inc("send-buffer-stall", 1)
+		n.inc("send-buffer-stall", 1)
 		n.bufGate.Wait(p)
 	}
 	n.freeBuffers--
@@ -326,7 +366,7 @@ func (n *NIC) attachPiggyback(frame *proto.Frame) {
 	frame.AckSeq = seq
 	n.rcv.AckEmitted(frame.Dst)
 	n.cancelDelayedAck(frame.Dst)
-	n.ctr.Inc("acks-piggybacked", 1)
+	n.inc("acks-piggybacked", 1)
 }
 
 // SendControl queues a control frame (ack or probe) for transmission. If
@@ -339,7 +379,7 @@ func (n *NIC) SendControl(frame *proto.Frame, route routing.Route) {
 	if route == nil {
 		r, ok := n.routes[frame.Dst]
 		if !ok {
-			n.ctr.Inc("control-no-route", 1)
+			n.inc("control-no-route", 1)
 			return
 		}
 		route = r
@@ -382,7 +422,7 @@ func (n *NIC) kickTX() {
 		// retransmission queue as if transmitted, but never touches the
 		// wire.
 		if frame.Type == proto.FrameData && n.dropper.ShouldDrop() {
-			n.ctr.Inc("err-injected-drops", 1)
+			n.inc("err-injected-drops", 1)
 			n.emit(trace.EvErrDrop, frame.Dst, frame.Gen, frame.Seq)
 			if n.ft && it.entry != nil {
 				n.snd.OnTransmitted(it.entry, n.k.Now())
@@ -397,7 +437,7 @@ func (n *NIC) kickTX() {
 		if route == nil {
 			r, ok := n.routes[frame.Dst]
 			if !ok {
-				n.ctr.Inc("tx-no-route", 1)
+				n.inc("tx-no-route", 1)
 				if n.ft && it.entry != nil {
 					// Keep the entry queued; the timer will retry once a
 					// route exists. Mark transmitted so the timer owns it.
@@ -435,7 +475,7 @@ func (n *NIC) kickTX() {
 			},
 		}
 		n.txBusy = true
-		n.ctr.Inc("pkts-sent", 1)
+		n.inc("pkts-sent", 1)
 		if frame.Type == proto.FrameData {
 			n.emit(trace.EvInject, frame.Dst, frame.Gen, frame.Seq)
 		}
@@ -508,12 +548,26 @@ func (n *NIC) timerFire() {
 	})
 }
 
+// noteAcked records the acknowledgment latency of freed entries: how long
+// each sat in the retransmission queue since its last (re)transmission.
+func (n *NIC) noteAcked(freed []*retrans.Entry) {
+	if len(freed) == 0 {
+		return
+	}
+	now := n.k.Now()
+	h := n.mx.Histogram("retrans.ack_latency_ns")
+	for _, e := range freed {
+		h.Observe(now.Sub(e.LastSent))
+	}
+}
+
 // retransmitBatch re-enqueues a go-back-N batch at the front of the TX
 // queue, in order, cloning each frame (an original may still be in flight).
 // The final frame requests an immediate ack so the sender resynchronizes
 // in one round trip.
 func (n *NIC) retransmitBatch(b retrans.Batch) {
-	n.ctr.Inc("retransmit-bursts", 1)
+	n.inc("retransmit-bursts", 1)
+	n.mx.Observe("retrans.timeout_latency_ns", b.Oldest)
 	cost := time.Duration(len(b.Entries)) * n.cost.RetransPktCost
 	n.cpu.Submit(cost, func() {
 		items := make([]txItem, 0, len(b.Entries))
@@ -531,7 +585,7 @@ func (n *NIC) retransmitBatch(b retrans.Batch) {
 				f.AckReq = proto.AckImmediate
 			}
 			n.attachPiggybackIfAny(&f)
-			n.ctr.Inc("pkts-retransmitted", 1)
+			n.inc("pkts-retransmitted", 1)
 			n.emit(trace.EvRetransmit, f.Dst, f.Gen, f.Seq)
 			e.InFlight++
 			items = append(items, txItem{frame: &f, entry: e})
@@ -579,7 +633,7 @@ func (n *NIC) processFrame(frame *proto.Frame, pkt *fabric.Packet) {
 	// The CRC check covers every frame type; corrupted packets are
 	// dropped after the check cost is paid.
 	if pkt.Corrupted {
-		n.ctr.Inc("crc-drops", 1)
+		n.inc("crc-drops", 1)
 		n.emit(trace.EvCrcDrop, frame.Src, frame.Gen, frame.Seq)
 		return
 	}
@@ -597,7 +651,7 @@ func (n *NIC) processFrame(frame *proto.Frame, pkt *fabric.Packet) {
 	case proto.FrameRouteUpdate:
 		if frame.Probe != nil {
 			n.SetRoute(frame.Src, frame.Probe.ReturnRoute)
-			n.ctr.Inc("route-updates", 1)
+			n.inc("route-updates", 1)
 		}
 	}
 }
@@ -606,9 +660,10 @@ func (n *NIC) processAck(from topology.NodeID, gen uint32, seq uint64) {
 	if !n.ft {
 		return
 	}
-	n.ctr.Inc("acks-received", 1)
+	n.inc("acks-received", 1)
 	n.emit(trace.EvAckRx, from, gen, seq)
 	freed := n.snd.OnAck(from, gen, seq, n.k.Now())
+	n.noteAcked(freed)
 	n.releaseBuffers(len(freed))
 }
 
@@ -617,6 +672,7 @@ func (n *NIC) processData(frame *proto.Frame) {
 	// verdict.
 	if n.ft && frame.HasAck {
 		freed := n.snd.OnAck(frame.Src, frame.AckGen, frame.AckSeq, n.k.Now())
+		n.noteAcked(freed)
 		n.releaseBuffers(len(freed))
 	}
 	rr := n.ft && n.snd.Config().ReliableReception
@@ -635,17 +691,19 @@ func (n *NIC) processData(frame *proto.Frame) {
 			n.sendAck(frame.Src)
 		}
 		if !verdict.Accept {
-			n.ctr.Inc("rx-dropped", 1)
+			n.inc("rx-dropped", 1)
 			if n.rcv.Expected(frame.Src) > frame.Seq {
+				n.inc("rx-dup-drops", 1)
 				n.emit(trace.EvDupDrop, frame.Src, frame.Gen, frame.Seq)
 			} else {
+				n.inc("rx-ooo-drops", 1)
 				n.emit(trace.EvOooDrop, frame.Src, frame.Gen, frame.Seq)
 			}
 			return
 		}
 	}
 	frame.Stamps.NICRecvDone = n.k.Now()
-	n.ctr.Inc("pkts-accepted", 1)
+	n.inc("pkts-accepted", 1)
 	n.emit(trace.EvAccept, frame.Src, frame.Gen, frame.Seq)
 	// Deposit into host memory through the PCI engine, then notify.
 	size := len(frame.Data.Data)
@@ -689,7 +747,7 @@ func (n *NIC) sendAck(to topology.NodeID) {
 	n.cancelDelayedAck(to)
 	n.rcv.AckEmitted(to)
 	n.cpu.Submit(n.cost.AckSendCost, func() {
-		n.ctr.Inc("acks-sent", 1)
+		n.inc("acks-sent", 1)
 		n.emit(trace.EvAckTx, to, gen, seq)
 		ack := &proto.Frame{
 			Type:   proto.FrameAck,
@@ -730,7 +788,7 @@ func (n *NIC) answerHostProbe(frame *proto.Frame) {
 	if frame.Probe == nil {
 		return
 	}
-	n.ctr.Inc("probes-answered", 1)
+	n.inc("probes-answered", 1)
 	reply := &proto.Frame{
 		Type: proto.FrameHostProbeReply,
 		Dst:  frame.Probe.Mapper,
@@ -770,7 +828,7 @@ func (n *NIC) ResetPath(dst topology.NodeID, route routing.Route) {
 		e.InFlight++
 		n.enqueueTX(txItem{frame: &f, entry: e}, false)
 	}
-	n.ctr.Inc("path-resets", 1)
+	n.inc("path-resets", 1)
 	n.emit(trace.EvGenReset, dst, n.snd.Generation(dst), 0)
 }
 
@@ -782,7 +840,7 @@ func (n *NIC) MarkUnreachable(dst topology.NodeID) {
 	if n.ft {
 		dropped := n.snd.MarkUnreachable(dst)
 		n.releaseBuffers(len(dropped))
-		n.ctr.Inc("pkts-dropped-unreachable", uint64(len(dropped)))
+		n.inc("pkts-dropped-unreachable", uint64(len(dropped)))
 		n.emit(trace.EvUnreachable, dst, 0, uint64(len(dropped)))
 	}
 }

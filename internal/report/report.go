@@ -1,0 +1,136 @@
+// Package report defines the one rendering contract every experiment and
+// campaign result satisfies, so cmd/sanbench, cmd/sanchaos, and cmd/sanstat
+// all print and serialize results through the same path instead of each
+// carrying its own formatter.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Row is one result row: parallel column names and rendered values.
+type Row struct {
+	Columns []string
+	Values  []string
+}
+
+// Report is a renderable result set.
+type Report interface {
+	// Title names the report (used as the table heading and JSON title).
+	Title() string
+	// Rows returns the result rows in presentation order.
+	Rows() []Row
+	// String renders the report as an aligned text table.
+	String() string
+	// WriteJSON serializes the report as a single JSON object with stable
+	// field order: {"title": ..., "rows": [{col: val, ...}, ...]}.
+	WriteJSON(w io.Writer) error
+}
+
+// Table is the standard Report: a title, a header, and cell rows.
+type Table struct {
+	Name   string
+	Header []string
+	Cells  [][]string
+}
+
+// Title implements Report.
+func (t *Table) Title() string { return t.Name }
+
+// Rows implements Report.
+func (t *Table) Rows() []Row {
+	rows := make([]Row, len(t.Cells))
+	for i, c := range t.Cells {
+		rows[i] = Row{Columns: t.Header, Values: c}
+	}
+	return rows
+}
+
+// String implements Report: title line plus an aligned grid.
+func (t *Table) String() string {
+	return t.Name + "\n" + Grid(t.Header, t.Cells)
+}
+
+// WriteJSON implements Report. Column order is preserved (hand-rolled
+// object encoding; values are emitted as JSON strings since cells are
+// already rendered).
+func (t *Table) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(`{"title":`)
+	b.Write(mustJSON(t.Name))
+	b.WriteString(`,"rows":[`)
+	for i, row := range t.Cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('{')
+		for j, col := range t.Header {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.Write(mustJSON(col))
+			b.WriteByte(':')
+			v := ""
+			if j < len(row) {
+				v = row[j]
+			}
+			b.Write(mustJSON(v))
+		}
+		b.WriteByte('}')
+	}
+	b.WriteString("]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Grid renders a header and cell rows with aligned column widths — the
+// shared text-table formatter.
+func Grid(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Write renders r to w: JSON when asJSON, else the text form. The single
+// render path shared by the CLIs.
+func Write(w io.Writer, r Report, asJSON bool) error {
+	if asJSON {
+		return r.WriteJSON(w)
+	}
+	_, err := io.WriteString(w, r.String())
+	return err
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	return &Table{
+		Name:   "demo",
+		Header: []string{"size", "bw"},
+		Cells:  [][]string{{"4096", "120.5"}, {"65536", "152.0"}},
+	}
+}
+
+func TestTableString(t *testing.T) {
+	s := sample().String()
+	if !strings.HasPrefix(s, "demo\n") {
+		t.Fatalf("missing title: %q", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want title+header+2 rows, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "size") {
+		t.Fatalf("header line %q", lines[1])
+	}
+}
+
+func TestTableRows(t *testing.T) {
+	rows := sample().Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if rows[1].Columns[1] != "bw" || rows[1].Values[1] != "152.0" {
+		t.Fatalf("row %+v", rows[1])
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Column order must be preserved, not alphabetized.
+	if !strings.Contains(out, `{"size":"4096","bw":"120.5"}`) {
+		t.Fatalf("ordered row missing: %s", out)
+	}
+	// And it must still be valid JSON.
+	var v struct {
+		Title string              `json:"title"`
+		Rows  []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &v); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if v.Title != "demo" || len(v.Rows) != 2 || v.Rows[0]["bw"] != "120.5" {
+		t.Fatalf("decoded %+v", v)
+	}
+}
+
+func TestWriteDispatch(t *testing.T) {
+	var txt, js bytes.Buffer
+	if err := Write(&txt, sample(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&js, sample(), true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(txt.String(), "demo\n") {
+		t.Fatal("text path")
+	}
+	if !strings.HasPrefix(js.String(), `{"title":"demo"`) {
+		t.Fatal("json path")
+	}
+}
+
+func TestGridAlignment(t *testing.T) {
+	g := Grid([]string{"a", "long-header"}, [][]string{{"wide-value", "x"}})
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	// The second column must start at the same offset in both lines.
+	if strings.Index(lines[0], "long-header") != strings.Index(lines[1], "x") {
+		t.Fatalf("misaligned:\n%s", g)
+	}
+}

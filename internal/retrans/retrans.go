@@ -269,6 +269,9 @@ func (s *Sender) OnAck(dst topology.NodeID, ackGen uint32, ackSeq uint64, now si
 type Batch struct {
 	Dst     topology.NodeID
 	Entries []*Entry
+	// Oldest is how long the head entry had gone without (re)transmission
+	// when the timer fired — the timeout detection latency for this burst.
+	Oldest time.Duration
 }
 
 // Tick runs the single periodic retransmission timer: for every
@@ -286,7 +289,8 @@ func (s *Sender) Tick(now sim.Time) []Batch {
 			continue
 		}
 		head := d.queue[0]
-		if !head.Sent || head.InFlight > 0 || now.Sub(head.LastSent) < s.cfg.Interval {
+		age := now.Sub(head.LastSent)
+		if !head.Sent || head.InFlight > 0 || age < s.cfg.Interval {
 			continue
 		}
 		var batch []*Entry
@@ -301,7 +305,7 @@ func (s *Sender) Tick(now sim.Time) []Batch {
 		if len(batch) > 0 {
 			s.RetransBursts++
 			s.RetransPkts += uint64(len(batch))
-			out = append(out, Batch{Dst: dst, Entries: batch})
+			out = append(out, Batch{Dst: dst, Entries: batch, Oldest: age})
 		}
 	}
 	return out

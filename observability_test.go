@@ -1,0 +1,127 @@
+package sanft_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"sanft"
+	"sanft/internal/chaos"
+	"sanft/internal/core"
+)
+
+// workloadDump builds a lossy star with periodic sampling, drives an
+// all-pairs exchange, and returns the JSONL metrics dump.
+func workloadDump(t *testing.T, seed int64) []byte {
+	t.Helper()
+	const hosts, msgs = 3, 8
+	c := sanft.New(
+		sanft.WithStar(hosts),
+		sanft.WithFaultTolerance(sanft.DefaultParams()),
+		sanft.WithErrorRate(0.05),
+		sanft.WithSeed(seed),
+		sanft.WithSampling(time.Millisecond),
+	)
+	for i := 0; i < hosts; i++ {
+		for j := 0; j < hosts; j++ {
+			if i == j {
+				continue
+			}
+			src, dst := i, j
+			name := fmt.Sprintf("in-%d", src)
+			exp := c.EndpointAt(dst).Export(name, 4096)
+			c.K.Spawn(fmt.Sprintf("recv-%d-%d", src, dst), func(p *sanft.Proc) {
+				for m := 0; m < msgs; m++ {
+					exp.WaitNotification(p)
+				}
+			})
+			c.K.Spawn(fmt.Sprintf("send-%d-%d", src, dst), func(p *sanft.Proc) {
+				imp, err := c.EndpointAt(src).Import(c.Host(dst), name)
+				if err != nil {
+					panic(err)
+				}
+				for m := 0; m < msgs; m++ {
+					imp.Send(p, 0, make([]byte, 512), true)
+				}
+			})
+		}
+	}
+	c.RunFor(5 * time.Second)
+	c.Stop()
+	obs := c.Observer()
+	obs.SampleNow(c.Now())
+	var b bytes.Buffer
+	if err := obs.WriteJSONL(&b); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	return b.Bytes()
+}
+
+// campaignDump runs the link-flap chaos campaign with sampling attached
+// through the instrumentation hook and returns the JSONL metrics dump.
+func campaignDump(t *testing.T, seed int64) []byte {
+	t.Helper()
+	camp, ok := chaos.Find("link-flap")
+	if !ok {
+		t.Fatal("link-flap campaign missing")
+	}
+	var clu *core.Cluster
+	var obs *sanft.Observer
+	camp.RunInstrumented(seed, func(c *core.Cluster) {
+		clu = c
+		obs = c.Observer()
+		obs.StartSampling(c.K, time.Millisecond)
+	})
+	obs.SampleNow(clu.Now())
+	var b bytes.Buffer
+	if err := obs.WriteJSONL(&b); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	return b.Bytes()
+}
+
+// TestMetricsDumpDeterministic is the contract of the observability
+// layer: identical seeds produce byte-identical JSONL dumps, for a plain
+// workload and under a chaos campaign alike.
+func TestMetricsDumpDeterministic(t *testing.T) {
+	if a, b := workloadDump(t, 42), workloadDump(t, 42); !bytes.Equal(a, b) {
+		t.Errorf("workload dumps differ across runs with the same seed (%d vs %d bytes)",
+			len(a), len(b))
+	}
+	if a, b := campaignDump(t, 42), campaignDump(t, 42); !bytes.Equal(a, b) {
+		t.Errorf("campaign dumps differ across runs with the same seed (%d vs %d bytes)",
+			len(a), len(b))
+	}
+}
+
+// TestMetricsDumpCoverage asserts the dump spans every instrumented
+// layer: NIC DMA busy time, link utilization, retransmission activity,
+// and remap latency histograms.
+func TestMetricsDumpCoverage(t *testing.T) {
+	dump := string(campaignDump(t, 1))
+	for _, want := range []string{
+		"nic.pci.busy_ns",         // DMA engine busy time
+		"nic.cpu.busy_ns",         // firmware processor busy time
+		"nic.sram.free_buffers",   // SRAM pool occupancy
+		"fabric.link.utilization", // per-link, per-direction load
+		"nic.pkts-retransmitted",  // retransmission counts
+		"retrans.ack_latency_ns",  // ack round-trip histogram
+		"remap.latency_ns",        // remap latency histogram
+		"mapping.host_probes",     // probe counts
+		"chaos.faults",            // fault injections
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("metrics dump missing %q", want)
+		}
+	}
+}
+
+// TestWorkloadDumpSeedSensitivity guards against the dump being constant:
+// different seeds must diverge somewhere in the series.
+func TestWorkloadDumpSeedSensitivity(t *testing.T) {
+	if bytes.Equal(workloadDump(t, 1), workloadDump(t, 2)) {
+		t.Error("dumps for different seeds are identical; sampling is not observing the run")
+	}
+}

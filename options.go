@@ -1,0 +1,164 @@
+package sanft
+
+import (
+	"time"
+
+	"sanft/internal/core"
+	"sanft/internal/mapping"
+	"sanft/internal/metrics"
+	"sanft/internal/report"
+	"sanft/internal/topology"
+)
+
+// Observability and reporting types.
+type (
+	// Observer is a cluster's observability handle: one registry every
+	// subsystem records into, periodic simulated-time sampling, and
+	// JSONL / Prometheus / summary exporters. Obtain it with
+	// Cluster.Observer().
+	Observer = metrics.Observer
+	// MetricsRegistry holds every counter, gauge, and histogram of one
+	// cluster, keyed by name{labels}.
+	MetricsRegistry = metrics.Registry
+	// MetricsConfig tunes sampling (interval, retention cap).
+	MetricsConfig = metrics.Config
+	// MetricsSample is one point of the collected time series.
+	MetricsSample = metrics.Sample
+
+	// MapperConfig holds on-demand mapper tunables (probe timeout, BFS
+	// bounds).
+	MapperConfig = mapping.Config
+	// RemapPolicy paces the recovery path (backoff, quarantine).
+	RemapPolicy = core.RemapPolicy
+
+	// Report is the common rendering contract for experiment and
+	// campaign results; Row is one of its result rows; ReportTable the
+	// standard implementation.
+	Report      = report.Report
+	Row         = report.Row
+	ReportTable = report.Table
+)
+
+// Option mutates a cluster configuration. Options are applied in order,
+// so later options override earlier ones.
+type Option func(*Config)
+
+// WithTopology wires the cluster over an explicit network. The host list
+// may be nil to use every host node in the network.
+func WithTopology(nw *Network, hosts []NodeID) Option {
+	return func(c *Config) {
+		c.Net = nw
+		c.Hosts = hosts
+	}
+}
+
+// WithStar wires n hosts to one full-crossbar switch — the
+// micro-benchmark topology.
+func WithStar(n int) Option {
+	return func(c *Config) {
+		c.Net, c.Hosts = topology.Star(n)
+	}
+}
+
+// WithDoubleStar wires n hosts across two switches with doubled trunks —
+// the smallest topology with full path redundancy.
+func WithDoubleStar(n int) Option {
+	return func(c *Config) {
+		c.Net, c.Hosts = topology.DoubleStar(n)
+	}
+}
+
+// WithFaultTolerance enables the firmware retransmission protocol with
+// the given parameters (zero fields take the paper's defaults).
+func WithFaultTolerance(rc RetransConfig) Option {
+	return func(c *Config) {
+		c.FT = true
+		c.Retrans = rc
+	}
+}
+
+// WithRetransParams sets protocol parameters without enabling the
+// protocol — in non-FT mode the queue size still bounds the send-buffer
+// pool, which is how the no-fault-tolerance baseline is provisioned.
+func WithRetransParams(rc RetransConfig) Option {
+	return func(c *Config) { c.Retrans = rc }
+}
+
+// WithErrorRate injects send-side drops at rate p (e.g. 1e-3), each NIC
+// with its own deterministic schedule.
+func WithErrorRate(p float64) Option {
+	return func(c *Config) { c.ErrorRate = p }
+}
+
+// WithSeed fixes all randomness. New defaults to seed 1.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithCostModel overrides the NIC hardware calibration.
+func WithCostModel(cm CostModel) Option {
+	return func(c *Config) { c.Cost = cm }
+}
+
+// WithFabricConfig overrides wire constants (link rate, watchdog, ...).
+func WithFabricConfig(fc FabricConfig) Option {
+	return func(c *Config) { c.Fabric = fc }
+}
+
+// WithMapper enables on-demand mapping (requires fault tolerance). An
+// optional MapperConfig sets probe timeouts and BFS bounds.
+func WithMapper(cfg ...MapperConfig) Option {
+	return func(c *Config) {
+		c.Mapper = true
+		if len(cfg) > 0 {
+			c.MapperCfg = cfg[0]
+		}
+	}
+}
+
+// WithRemapPolicy tunes recovery pacing (backoff, quarantine).
+func WithRemapPolicy(p RemapPolicy) Option {
+	return func(c *Config) { c.Remap = p }
+}
+
+// WithOnUnreachable installs the graceful-degradation upcall, fired when
+// src quarantines dst after repeated failed remaps.
+func WithOnUnreachable(fn func(src, dst NodeID)) Option {
+	return func(c *Config) { c.OnUnreachable = fn }
+}
+
+// WithMetrics tunes the observability layer (the registry itself is
+// always on; this configures sampling cadence and retention).
+func WithMetrics(mc MetricsConfig) Option {
+	return func(c *Config) { c.Metrics = mc }
+}
+
+// WithSampling starts periodic metric sampling every `every` of simulated
+// time — shorthand for WithMetrics(MetricsConfig{SampleEvery: every}).
+func WithSampling(every time.Duration) Option {
+	return func(c *Config) { c.Metrics.SampleEvery = every }
+}
+
+// New builds a cluster from functional options:
+//
+//	c := sanft.New(
+//		sanft.WithStar(8),
+//		sanft.WithFaultTolerance(sanft.DefaultParams()),
+//		sanft.WithErrorRate(1e-3),
+//		sanft.WithSampling(time.Millisecond),
+//	)
+//
+// With no topology option, a two-host star is built; the default seed
+// is 1. For struct-style configuration use NewFromConfig.
+func New(opts ...Option) *Cluster {
+	cfg := Config{Seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.New(cfg)
+}
+
+// NewFromConfig builds a cluster from an explicit Config struct. Prefer
+// New with options for new code; this remains for programmatic
+// construction where a Config is assembled elsewhere.
+func NewFromConfig(cfg Config) *Cluster { return core.New(cfg) }

@@ -126,13 +126,18 @@ func DefaultParams() RetransConfig {
 	return RetransConfig{QueueSize: 32, Interval: time.Millisecond}.Defaults()
 }
 
-// New builds a cluster.
-func New(cfg Config) *Cluster { return core.New(cfg) }
-
 // NewStar builds a cluster of n hosts on one full-crossbar switch.
+//
+// Deprecated: use New with options, e.g.
+// New(WithStar(n), WithFaultTolerance(rc), WithErrorRate(p)); pass
+// WithRetransParams instead of WithFaultTolerance for the non-FT
+// baseline (the queue size still bounds the send-buffer pool).
 func NewStar(n int, ft bool, rc RetransConfig, errorRate float64) *Cluster {
-	nw, hosts := topology.Star(n)
-	return core.New(core.Config{Net: nw, Hosts: hosts, FT: ft, Retrans: rc, ErrorRate: errorRate, Seed: 1})
+	opts := []Option{WithStar(n), WithRetransParams(rc), WithErrorRate(errorRate)}
+	if ft {
+		opts = append(opts, WithFaultTolerance(rc))
+	}
+	return New(opts...)
 }
 
 // Star builds the micro-benchmark topology (n hosts, one switch).
@@ -145,8 +150,17 @@ func DoubleStar(n int) (*Network, []NodeID) { return topology.DoubleStar(n) }
 // NewFig2 builds the paper's Figure 2 mapping testbed.
 func NewFig2() *Fig2Topology { return topology.NewFig2() }
 
-// NewMapper attaches an on-demand mapper to a NIC.
-func NewMapper(k *Kernel, n *NIC) *Mapper { return mapping.New(k, n, mapping.Config{}) }
+// NewMapper attaches an on-demand mapper to a NIC. An optional
+// MapperConfig sets probe timeouts and BFS bounds; earlier versions
+// dropped the configuration on the floor, so callers that need tuning
+// should pass it here rather than mutating the mapper afterwards.
+func NewMapper(k *Kernel, n *NIC, cfg ...MapperConfig) *Mapper {
+	mc := MapperConfig{}
+	if len(cfg) > 0 {
+		mc = cfg[0]
+	}
+	return mapping.New(k, n, mc)
+}
 
 // ShortestRoute computes a BFS shortest source route between two hosts.
 func ShortestRoute(nw *Network, a, b NodeID) (Route, error) { return routing.Shortest(nw, a, b) }
