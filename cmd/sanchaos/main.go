@@ -4,6 +4,11 @@
 // any violated invariants. Same seed, same campaign → byte-identical
 // event log.
 //
+// Every campaign runs with a flight recorder attached: when an invariant
+// check fails, the recorder's fault-triggered snapshots (the trace events
+// leading up to each anomaly and to the violation itself) are dumped with
+// the report, so a failing campaign ships its own post-mortem.
+//
 // Usage:
 //
 //	sanchaos                          # run every campaign
@@ -21,7 +26,9 @@ import (
 	"time"
 
 	"sanft/internal/chaos"
+	"sanft/internal/core"
 	"sanft/internal/report"
+	"sanft/internal/trace"
 )
 
 func main() {
@@ -55,7 +62,9 @@ func main() {
 	start := time.Now()
 	failed := 0
 	for _, c := range todo {
-		rep := c.Run(*seed)
+		rep := c.RunInstrumented(*seed, func(cl *core.Cluster) {
+			cl.InstallTracer(trace.NewFlightRecorder(8192))
+		})
 		if err := report.Write(os.Stdout, rep, *asJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -66,6 +75,10 @@ func main() {
 		}
 		if !rep.Passed() {
 			failed++
+			if rep.FlightDump != "" && !*asJSON {
+				fmt.Println("  flight recorder (post-mortem):")
+				fmt.Println(indent(rep.FlightDump))
+			}
 		}
 		if !*asJSON {
 			fmt.Println()

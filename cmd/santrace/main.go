@@ -1,0 +1,100 @@
+// Command santrace runs a traced workload or chaos campaign and renders
+// the captured causal trace three ways: a per-message latency breakdown
+// (host / NIC / wire, plus blocking and retransmit-wait components), a
+// deterministic text timeline, and a Chrome trace-event JSON file loadable
+// in Perfetto (ui.perfetto.dev). Around faults it reconstructs recovery
+// timelines, and it dumps any fault-triggered flight-recorder snapshots.
+//
+// Usage:
+//
+//	santrace                               # 8-host ring workload, breakdown table
+//	santrace -errors 0.02 -recoveries 3    # inject drops, show recovery windows
+//	santrace -campaign link-flap -last 400 # trace a chaos campaign's tail
+//	santrace -perfetto trace.json          # write the Perfetto file
+//	santrace -timeline -                   # print the text timeline
+//
+// Same flags + same seed → byte-identical timeline and Perfetto output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sanft"
+)
+
+func main() {
+	campaign := flag.String("campaign", "", "chaos campaign to trace (empty = ring workload)")
+	hosts := flag.Int("hosts", 8, "workload: number of hosts")
+	msgs := flag.Int("msgs", 4, "workload: messages per sender")
+	size := flag.Int("size", 1024, "workload: message size in bytes")
+	errors := flag.Float64("errors", 0, "workload: send-side drop rate (e.g. 0.02)")
+	seed := flag.Int64("seed", 1, "seed for all randomness")
+	last := flag.Int("last", 400, "timeline: keep only the newest N events (0 = all)")
+	timeline := flag.String("timeline", "", "write text timeline to file (\"-\" = stdout)")
+	perfetto := flag.String("perfetto", "", "write Chrome trace-event JSON to file")
+	breakdown := flag.Bool("breakdown", true, "print the per-message latency breakdown")
+	recoveries := flag.Int("recoveries", 0, "print up to N recovery timelines around anomalies")
+	snapshots := flag.Bool("snapshots", false, "dump fault-triggered flight-recorder snapshots")
+	flag.Parse()
+
+	res, err := sanft.RunTraced(sanft.TraceSetup{
+		Campaign:  *campaign,
+		Hosts:     *hosts,
+		Msgs:      *msgs,
+		Size:      *size,
+		ErrorRate: *errors,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "santrace:", err)
+		os.Exit(2)
+	}
+
+	if res.Chaos != nil {
+		fmt.Print(res.Chaos.String())
+	}
+	fmt.Printf("captured %d events, %d message spans, %d flight-recorder triggers\n",
+		len(res.Events), len(res.Spans), res.Recorder.Triggered())
+
+	if *breakdown {
+		fmt.Println()
+		fmt.Print(res.BreakdownReport())
+	}
+	if *recoveries > 0 {
+		fmt.Println()
+		fmt.Print(res.RecoveryReport(2*time.Millisecond, 10*time.Millisecond, *recoveries))
+	}
+	if *snapshots {
+		fmt.Println()
+		fmt.Print(res.Recorder.Dump())
+	}
+	if *timeline != "" {
+		text := res.TimelineText(*last)
+		if *timeline == "-" {
+			fmt.Println()
+			fmt.Print(text)
+		} else if err := os.WriteFile(*timeline, []byte(text), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "santrace:", err)
+			os.Exit(1)
+		}
+	}
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "santrace:", err)
+			os.Exit(1)
+		}
+		if err := res.WritePerfetto(f); err != nil {
+			fmt.Fprintln(os.Stderr, "santrace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "santrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Perfetto trace to %s\n", *perfetto)
+	}
+}

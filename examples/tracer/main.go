@@ -44,7 +44,7 @@ func main() {
 
 	fmt.Print(ring.Dump())
 	fmt.Printf("\ndelivered %d/%d; event mix:\n", got, n)
-	for kind, count := range ring.Counts() {
-		fmt.Printf("  %-12v %d\n", kind, count)
+	for _, kc := range ring.CountsSorted() {
+		fmt.Printf("  %-12v %d\n", kc.Kind, kc.Count)
 	}
 }

@@ -33,6 +33,11 @@ type Report struct {
 	MTTR string
 
 	Violations []Violation
+
+	// FlightDump is the flight recorder's post-mortem rendering, filled
+	// only when invariants were violated and a recorder was attached
+	// (RunInstrumented with core.Cluster.InstallTracer).
+	FlightDump string `json:",omitempty"`
 }
 
 // Passed reports whether every invariant held.
@@ -87,10 +92,21 @@ func (c Campaign) RunInstrumented(seed int64, pre func(*core.Cluster)) *Report {
 }
 
 // finish stops the cluster, audits invariants, and assembles the report.
+// An invariant violation freezes a flight-recorder snapshot (when one is
+// attached) and embeds the recorder's dump in the report, so a failing
+// campaign ships its own post-mortem.
 func finish(name string, seed int64, e *Engine, r *Run, opts CheckOpts, dur time.Duration) *Report {
 	e.C.RunFor(dur)
 	e.C.Stop()
 	e.Record("campaign %s complete", name)
+	violations := CheckInvariants(e, r, opts)
+	var dump string
+	if len(violations) > 0 && e.fr != nil {
+		for _, v := range violations {
+			e.fr.TriggerSnapshot("invariant:"+v.Invariant, e.C.Now())
+		}
+		dump = e.fr.Dump()
+	}
 	return &Report{
 		Campaign:     name,
 		Seed:         seed,
@@ -105,7 +121,8 @@ func finish(name string, seed int64, e *Engine, r *Run, opts CheckOpts, dur time
 		Unreachables: e.C.Unreachables,
 		RemapStats:   e.C.RemapStats,
 		MTTR:         e.MTTRSummary(),
-		Violations:   CheckInvariants(e, r, opts),
+		Violations:   violations,
+		FlightDump:   dump,
 	}
 }
 

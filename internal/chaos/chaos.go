@@ -25,6 +25,7 @@ import (
 	"sanft/internal/core"
 	"sanft/internal/metrics"
 	"sanft/internal/topology"
+	"sanft/internal/trace"
 )
 
 // Engine binds scenarios, a workload, and measurement to one cluster run.
@@ -47,10 +48,14 @@ type Engine struct {
 
 	mttr    *metrics.Histogram
 	faultsC *metrics.Counter
+	fr      *trace.FlightRecorder
 }
 
 // NewEngine wraps a cluster for chaos experiments. The seed should usually
-// match the cluster's, but any value gives a deterministic run.
+// match the cluster's, but any value gives a deterministic run. If the
+// cluster's tracer is a flight recorder (see core.Cluster.InstallTracer),
+// the engine adopts it: invariant violations freeze a snapshot, and the
+// recorder is available through FlightRecorder for post-mortem dumps.
 func NewEngine(c *core.Cluster, seed int64) *Engine {
 	reg := c.Metrics()
 	return &Engine{
@@ -60,8 +65,13 @@ func NewEngine(c *core.Cluster, seed int64) *Engine {
 		rng:        rand.New(rand.NewSource(seed ^ 0x5eed)),
 		mttr:       reg.Histogram("chaos.delivery_stall_ns", nil),
 		faultsC:    reg.Counter("chaos.faults", nil),
+		fr:         c.FlightRecorder(),
 	}
 }
+
+// FlightRecorder returns the flight recorder adopted from the cluster
+// (nil when tracing is off or the tracer is a plain ring).
+func (e *Engine) FlightRecorder() *trace.FlightRecorder { return e.fr }
 
 // MTTR returns the delivery-stall histogram — the engine's measure of how
 // long faults held traffic up.

@@ -17,6 +17,7 @@ import (
 	"sanft/internal/routing"
 	"sanft/internal/sim"
 	"sanft/internal/topology"
+	"sanft/internal/trace"
 	"sanft/internal/vmmc"
 )
 
@@ -62,6 +63,11 @@ type Config struct {
 	// SampleEvery to also collect a periodic time series.
 	Metrics metrics.Config
 
+	// Tracer, if non-nil, receives every trace event from every layer:
+	// NIC protocol actions, fabric hop events, VMMC message lifecycle,
+	// and remap lifecycle. Typically a *trace.Ring or *trace.FlightRecorder.
+	Tracer trace.Tracer
+
 	// Seed drives all deterministic randomness.
 	Seed int64
 }
@@ -81,6 +87,7 @@ type Cluster struct {
 
 	onUnreachable func(src, dst topology.NodeID)
 	obs           *metrics.Observer
+	tracer        trace.Tracer
 
 	// Remaps counts completed on-demand remap operations.
 	Remaps int
@@ -126,6 +133,9 @@ func New(cfg Config) *Cluster {
 	// Rebind before any traffic so every fabric event lands in the
 	// cluster-wide registry rather than the fabric's private one.
 	c.Fab.BindMetrics(reg)
+	if cfg.Tracer != nil {
+		c.InstallTracer(cfg.Tracer)
+	}
 	for _, h := range cfg.Hosts {
 		var dropper fault.Dropper
 		if cfg.ErrorRate > 0 {
@@ -139,6 +149,7 @@ func New(cfg Config) *Cluster {
 			Retrans: cfg.Retrans,
 			Cost:    cfg.Cost,
 			Dropper: dropper,
+			Tracer:  cfg.Tracer,
 			Metrics: reg,
 		})
 		c.nics[h] = n
@@ -183,6 +194,28 @@ func (c *Cluster) Observer() *metrics.Observer { return c.obs }
 // Metrics returns the cluster-wide metrics registry (shorthand for
 // Observer().Registry()).
 func (c *Cluster) Metrics() *metrics.Registry { return c.obs.Registry() }
+
+// InstallTracer wires tr into every layer of an already-built cluster —
+// each NIC and the fabric — and remembers it for Tracer()/FlightRecorder().
+// Chaos campaigns use this to attach a tracer between cluster construction
+// and traffic start; nil removes the current tracer everywhere.
+func (c *Cluster) InstallTracer(tr trace.Tracer) {
+	c.tracer = tr
+	c.Fab.SetTracer(tr)
+	for _, n := range c.nics {
+		n.SetTracer(tr)
+	}
+}
+
+// Tracer returns the cluster-wide tracer (nil if tracing is off).
+func (c *Cluster) Tracer() trace.Tracer { return c.tracer }
+
+// FlightRecorder returns the cluster tracer as a flight recorder, or nil
+// if the tracer is absent or of another kind.
+func (c *Cluster) FlightRecorder() *trace.FlightRecorder {
+	fr, _ := c.tracer.(*trace.FlightRecorder)
+	return fr
+}
 
 // NIC returns the NIC of host h.
 func (c *Cluster) NIC(h topology.NodeID) *nic.NIC { return c.nics[h] }

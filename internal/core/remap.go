@@ -180,6 +180,7 @@ func (rm *remapManager) attempt(dst topology.NodeID, st *remapState) {
 			rm.c.Remaps++
 			rm.mx.Add("remap.successes", 1)
 			rm.mx.Observe("remap.latency_ns", mst.Elapsed)
+			n.EmitEvent(trace.EvRemapDone, dst)
 			st.failures = 0
 			st.backoff = rm.pol.Backoff
 			st.release = rm.pol.Quarantine

@@ -8,6 +8,7 @@ import (
 	"sanft/internal/metrics"
 	"sanft/internal/sim"
 	"sanft/internal/topology"
+	"sanft/internal/trace"
 )
 
 // Config holds the physical constants of the fabric. Defaults (via
@@ -66,6 +67,10 @@ type Fabric struct {
 	// transitHook, if set, runs once per packet at delivery time and may
 	// mutate it (set Corrupted) or return false to drop it in transit.
 	transitHook func(*Packet) bool
+
+	// tracer, if set, receives hop-level events: channel acquire / block /
+	// release, watchdog resets, drops with reason, and deliveries.
+	tracer trace.Tracer
 
 	stats Stats
 	reg   *metrics.Registry
@@ -162,6 +167,28 @@ func (f *Fabric) AttachHost(h topology.NodeID, fn func(*Packet)) {
 // hook may also set pkt.Corrupted to model CRC errors.
 func (f *Fabric) SetTransitHook(fn func(*Packet) bool) { f.transitHook = fn }
 
+// SetTracer wires (or removes, with nil) a hop-level event tracer. Fabric
+// events are attributed to the packet's source (Event.Node = Src) so they
+// join the source's message span.
+func (f *Fabric) SetTracer(tr trace.Tracer) { f.tracer = tr }
+
+// emitPkt records one hop-level trace event for pkt. link < 0 means "no
+// channel involved" (drops at injection, deliveries).
+func (f *Fabric) emitPkt(kind trace.Kind, pkt *Packet, link, dir int, note string) {
+	if f.tracer == nil {
+		return
+	}
+	e := trace.Event{
+		At: f.k.Now(), Node: pkt.Src, Kind: kind, Peer: pkt.Dst,
+		Gen: pkt.Gen, Seq: pkt.Seq, Msg: pkt.Msg, Note: note,
+	}
+	if link >= 0 {
+		e.Link = int32(link + 1)
+		e.Dir = uint8(dir)
+	}
+	f.tracer.Trace(e)
+}
+
 // SerializationTime returns how long a packet of n bytes occupies a link.
 func (f *Fabric) SerializationTime(n int) time.Duration {
 	return time.Duration(float64(n) / f.cfg.LinkRate * 1e9)
@@ -219,6 +246,7 @@ func (f *Fabric) drop(pkt *Packet, reason DropReason) {
 	}
 	f.stats.Dropped[reason]++
 	f.reg.Counter("fabric.pkts_dropped", metrics.L("reason", reason.String())).Inc()
+	f.emitPkt(trace.EvFabDrop, pkt, -1, 0, reason.String())
 	if pkt.OnDropped != nil {
 		pkt.OnDropped(reason)
 	}

@@ -79,6 +79,14 @@ type Packet struct {
 	// checked by the receiving NIC.
 	Corrupted bool
 
+	// Gen, Seq and Msg are trace bookkeeping stamped by the sending NIC
+	// (the protocol identity of the payload frame), so hop-level trace
+	// events can carry the packet's trace ID without the fabric looking
+	// inside Payload. Zero for control frames and untraced payloads.
+	Gen uint32
+	Seq uint64
+	Msg uint64
+
 	// Injected and Delivered are stamped by the fabric.
 	Injected  sim.Time
 	Delivered sim.Time

@@ -3,6 +3,7 @@ package fabric
 import (
 	"sanft/internal/sim"
 	"sanft/internal/topology"
+	"sanft/internal/trace"
 )
 
 // worm is the in-flight state of one packet traversing the network
@@ -58,11 +59,13 @@ func (w *worm) request(key chanKey, next topology.NodeID) {
 	cs.waiters = append(cs.waiters, w)
 	w.waiting, w.waitKey, w.waitNext = cs, key, next
 	w.parkedAt = w.f.k.Now()
+	w.f.emitPkt(trace.EvLinkBlock, w.pkt, key.link, key.dir, "")
 	if w.watchdog == nil {
 		w.watchdog = w.f.k.After(w.f.cfg.Watchdog, func() {
 			w.watchdog = nil
 			w.f.stats.WatchdogResets++
 			w.f.mx.Add("fabric.watchdog_resets", 1)
+			w.f.emitPkt(trace.EvWatchdog, w.pkt, w.waitKey.link, w.waitKey.dir, "")
 			w.die(DropWatchdog)
 		})
 	}
@@ -90,6 +93,7 @@ func (w *worm) granted(key chanKey, next topology.NodeID) {
 	cs := f.chanState(key)
 	cs.holder = w
 	cs.grabbed = now
+	f.emitPkt(trace.EvLinkAcquire, w.pkt, key.link, key.dir, "")
 	w.noteUnparked()
 	w.waiting = nil
 	if w.watchdog != nil {
@@ -177,6 +181,7 @@ func (w *worm) deliverTo(h topology.NodeID) {
 	f.stats.BytesDelivered += uint64(w.pkt.Size)
 	f.mx.Add("fabric.pkts_delivered", 1)
 	f.mx.Add("fabric.bytes_delivered", uint64(w.pkt.Size))
+	f.emitPkt(trace.EvDeliver, w.pkt, -1, 0, "")
 	if fn := f.deliver[h]; fn != nil {
 		fn(w.pkt)
 	}
@@ -241,6 +246,7 @@ func (f *Fabric) release(key chanKey, w *worm) {
 	}
 	cs.busy += f.k.Now().Sub(cs.grabbed)
 	cs.holder = nil
+	f.emitPkt(trace.EvLinkRelease, w.pkt, key.link, key.dir, "")
 	// First-channel release means the tail has left the source NIC.
 	if len(w.held) > 0 && w.held[0] == key {
 		w.fireInjectDone()

@@ -111,13 +111,22 @@ func (n *NIC) inc(name string, k uint64) {
 }
 
 // emit records a trace event if a tracer is wired.
-func (n *NIC) emit(kind trace.Kind, peer topology.NodeID, gen uint32, seq uint64) {
+func (n *NIC) emit(kind trace.Kind, peer topology.NodeID, gen uint32, seq uint64, msg uint64) {
 	if n.opts.Tracer == nil {
 		return
 	}
 	n.opts.Tracer.Trace(trace.Event{
-		At: n.k.Now(), Node: n.node, Kind: kind, Peer: peer, Gen: gen, Seq: seq,
+		At: n.k.Now(), Node: n.node, Kind: kind, Peer: peer, Gen: gen, Seq: seq, Msg: msg,
 	})
+}
+
+// msgOf returns the VMMC message ID a data frame belongs to (0 for
+// control frames), so trace events can be grouped into message spans.
+func msgOf(frame *proto.Frame) uint64 {
+	if frame.Data != nil {
+		return frame.Data.MsgID
+	}
+	return 0
 }
 
 // New creates a NIC for host `node`, attaches it to the fabric, and (in FT
@@ -204,7 +213,16 @@ func (n *NIC) SetTracer(tr trace.Tracer) { n.opts.Tracer = tr }
 
 // EmitEvent records a trace event on behalf of a layer above the NIC (the
 // remap manager uses it for remap-lifecycle events). No-op without a tracer.
-func (n *NIC) EmitEvent(kind trace.Kind, peer topology.NodeID) { n.emit(kind, peer, 0, 0) }
+func (n *NIC) EmitEvent(kind trace.Kind, peer topology.NodeID) { n.emit(kind, peer, 0, 0, 0) }
+
+// EmitMsgEvent records a message-level trace event on behalf of the VMMC
+// layer (host send, message completion). No-op without a tracer.
+func (n *NIC) EmitMsgEvent(kind trace.Kind, peer topology.NodeID, msg uint64) {
+	n.emit(kind, peer, 0, 0, msg)
+}
+
+// Tracer returns the tracer wired into this NIC (nil if none).
+func (n *NIC) Tracer() trace.Tracer { return n.opts.Tracer }
 
 // InRemap reports whether the NIC is holding stale-path/no-route upcalls
 // for dst because a remap is (believed to be) in progress. At quiesce this
@@ -342,7 +360,7 @@ func (n *NIC) firmwareSend(frame *proto.Frame) {
 			n.attachPiggyback(frame)
 			entry.InFlight++
 		}
-		n.emit(trace.EvSend, frame.Dst, frame.Gen, frame.Seq)
+		n.emit(trace.EvSend, frame.Dst, frame.Gen, frame.Seq, msgOf(frame))
 		n.enqueueTX(txItem{frame: frame, entry: entry}, false)
 	})
 }
@@ -423,7 +441,7 @@ func (n *NIC) kickTX() {
 		// wire.
 		if frame.Type == proto.FrameData && n.dropper.ShouldDrop() {
 			n.inc("err-injected-drops", 1)
-			n.emit(trace.EvErrDrop, frame.Dst, frame.Gen, frame.Seq)
+			n.emit(trace.EvErrDrop, frame.Dst, frame.Gen, frame.Seq, msgOf(frame))
 			if n.ft && it.entry != nil {
 				n.snd.OnTransmitted(it.entry, n.k.Now())
 				it.entry.InFlight--
@@ -463,6 +481,9 @@ func (n *NIC) kickTX() {
 			Dst:     frame.Dst,
 			Size:    frame.WireSize(),
 			Payload: frame,
+			Gen:     frame.Gen,
+			Seq:     frame.Seq,
+			Msg:     msgOf(frame),
 			OnInjectDone: func() {
 				n.txBusy = false
 				if entry != nil {
@@ -477,7 +498,7 @@ func (n *NIC) kickTX() {
 		n.txBusy = true
 		n.inc("pkts-sent", 1)
 		if frame.Type == proto.FrameData {
-			n.emit(trace.EvInject, frame.Dst, frame.Gen, frame.Seq)
+			n.emit(trace.EvInject, frame.Dst, frame.Gen, frame.Seq, msgOf(frame))
 		}
 		n.fab.Inject(n.node, pkt)
 		return
@@ -502,6 +523,7 @@ func (n *NIC) releaseBuffers(k int) {
 func (n *NIC) noRoute(dst topology.NodeID) {
 	if n.opts.OnNoRoute != nil && !n.inRemap[dst] {
 		n.inRemap[dst] = true
+		n.emit(trace.EvNoRoute, dst, 0, 0, 0)
 		n.opts.OnNoRoute(dst)
 	}
 }
@@ -541,6 +563,7 @@ func (n *NIC) timerFire() {
 			for _, dst := range n.snd.StalePaths(now) {
 				if !n.inRemap[dst] {
 					n.inRemap[dst] = true
+					n.emit(trace.EvPathStale, dst, 0, 0, 0)
 					n.opts.OnPathStale(dst)
 				}
 			}
@@ -586,7 +609,7 @@ func (n *NIC) retransmitBatch(b retrans.Batch) {
 			}
 			n.attachPiggybackIfAny(&f)
 			n.inc("pkts-retransmitted", 1)
-			n.emit(trace.EvRetransmit, f.Dst, f.Gen, f.Seq)
+			n.emit(trace.EvRetransmit, f.Dst, f.Gen, f.Seq, msgOf(&f))
 			e.InFlight++
 			items = append(items, txItem{frame: &f, entry: e})
 		}
@@ -634,7 +657,7 @@ func (n *NIC) processFrame(frame *proto.Frame, pkt *fabric.Packet) {
 	// dropped after the check cost is paid.
 	if pkt.Corrupted {
 		n.inc("crc-drops", 1)
-		n.emit(trace.EvCrcDrop, frame.Src, frame.Gen, frame.Seq)
+		n.emit(trace.EvCrcDrop, frame.Src, frame.Gen, frame.Seq, msgOf(frame))
 		return
 	}
 	switch frame.Type {
@@ -661,7 +684,7 @@ func (n *NIC) processAck(from topology.NodeID, gen uint32, seq uint64) {
 		return
 	}
 	n.inc("acks-received", 1)
-	n.emit(trace.EvAckRx, from, gen, seq)
+	n.emit(trace.EvAckRx, from, gen, seq, 0)
 	freed := n.snd.OnAck(from, gen, seq, n.k.Now())
 	n.noteAcked(freed)
 	n.releaseBuffers(len(freed))
@@ -694,17 +717,17 @@ func (n *NIC) processData(frame *proto.Frame) {
 			n.inc("rx-dropped", 1)
 			if n.rcv.Expected(frame.Src) > frame.Seq {
 				n.inc("rx-dup-drops", 1)
-				n.emit(trace.EvDupDrop, frame.Src, frame.Gen, frame.Seq)
+				n.emit(trace.EvDupDrop, frame.Src, frame.Gen, frame.Seq, msgOf(frame))
 			} else {
 				n.inc("rx-ooo-drops", 1)
-				n.emit(trace.EvOooDrop, frame.Src, frame.Gen, frame.Seq)
+				n.emit(trace.EvOooDrop, frame.Src, frame.Gen, frame.Seq, msgOf(frame))
 			}
 			return
 		}
 	}
 	frame.Stamps.NICRecvDone = n.k.Now()
 	n.inc("pkts-accepted", 1)
-	n.emit(trace.EvAccept, frame.Src, frame.Gen, frame.Seq)
+	n.emit(trace.EvAccept, frame.Src, frame.Gen, frame.Seq, msgOf(frame))
 	// Deposit into host memory through the PCI engine, then notify.
 	size := len(frame.Data.Data)
 	n.pci.SubmitBytes(size, n.cost.PCIRate, n.cost.PCISetup, func() {
@@ -748,7 +771,7 @@ func (n *NIC) sendAck(to topology.NodeID) {
 	n.rcv.AckEmitted(to)
 	n.cpu.Submit(n.cost.AckSendCost, func() {
 		n.inc("acks-sent", 1)
-		n.emit(trace.EvAckTx, to, gen, seq)
+		n.emit(trace.EvAckTx, to, gen, seq, 0)
 		ack := &proto.Frame{
 			Type:   proto.FrameAck,
 			Dst:    to,
@@ -829,7 +852,7 @@ func (n *NIC) ResetPath(dst topology.NodeID, route routing.Route) {
 		n.enqueueTX(txItem{frame: &f, entry: e}, false)
 	}
 	n.inc("path-resets", 1)
-	n.emit(trace.EvGenReset, dst, n.snd.Generation(dst), 0)
+	n.emit(trace.EvGenReset, dst, n.snd.Generation(dst), 0, 0)
 }
 
 // MarkUnreachable drops all pending packets for dst and frees their
@@ -841,6 +864,6 @@ func (n *NIC) MarkUnreachable(dst topology.NodeID) {
 		dropped := n.snd.MarkUnreachable(dst)
 		n.releaseBuffers(len(dropped))
 		n.inc("pkts-dropped-unreachable", uint64(len(dropped)))
-		n.emit(trace.EvUnreachable, dst, 0, uint64(len(dropped)))
+		n.emit(trace.EvUnreachable, dst, 0, uint64(len(dropped)), 0)
 	}
 }

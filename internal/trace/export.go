@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"sanft/internal/sim"
+)
+
+// Chrome trace-event export: the events render as instant events on one
+// track (tid) per NIC and one per directed link, inside two process
+// groups ("nics" and "fabric links"); wormhole blocking intervals
+// additionally render as duration ("X") events on their link track, so a
+// blocked path is visible as a bar, not a dot. Timestamps are simulated
+// time expressed in microseconds (the trace-event unit), emitted with
+// nanosecond precision. The output is a single deterministic JSON object
+// loadable by Perfetto (ui.perfetto.dev) and chrome://tracing.
+
+const (
+	chromePidNICs  = 1
+	chromePidLinks = 2
+)
+
+// linkTid maps a directed channel to its stable track ID.
+func linkTid(link int32, dir uint8) int { return int(link-1)*2 + int(dir) }
+
+// chromeTS renders a simulated instant as microseconds with nanosecond
+// precision, without floating point (byte-stable across platforms).
+func chromeTS(t sim.Time) string {
+	ns := int64(t)
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// WriteChromeTrace writes events as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	// Track discovery first, so metadata precedes data in the output.
+	nics := map[int]bool{}
+	links := map[int]int32{} // tid -> link for labels
+	dirs := map[int]uint8{}
+	for _, e := range events {
+		nics[int(e.Node)] = true
+		if e.Link != 0 {
+			tid := linkTid(e.Link, e.Dir)
+			links[tid] = e.Link
+			dirs[tid] = e.Dir
+		}
+	}
+	var nicIDs []int
+	for id := range nics {
+		nicIDs = append(nicIDs, id)
+	}
+	sort.Ints(nicIDs)
+	var linkTids []int
+	for tid := range links {
+		linkTids = append(linkTids, tid)
+	}
+	sort.Ints(linkTids)
+
+	bw := &errWriter{w: w}
+	bw.printf("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	first := true
+	meta := func(pid, tid int, key, name string) {
+		if !first {
+			bw.printf(",\n")
+		}
+		first = false
+		bw.printf("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":%q,\"args\":{\"name\":%q}}", pid, tid, key, name)
+	}
+	meta(chromePidNICs, 0, "process_name", "nics")
+	meta(chromePidLinks, 0, "process_name", "fabric links")
+	for _, id := range nicIDs {
+		meta(chromePidNICs, id, "thread_name", fmt.Sprintf("nic%d", id))
+	}
+	for _, tid := range linkTids {
+		meta(chromePidLinks, tid, "thread_name",
+			fmt.Sprintf("link%d.%d", links[tid]-1, dirs[tid]))
+	}
+
+	// Open blocking intervals, to pair EvLinkBlock with its resolution.
+	type blockOpen struct {
+		at  sim.Time
+		tid int
+	}
+	open := map[blockKey]blockOpen{}
+	emit := func(e Event, pid, tid int) {
+		if !first {
+			bw.printf(",\n")
+		}
+		first = false
+		bw.printf("{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"name\":%q,\"args\":{\"peer\":%d,\"gen\":%d,\"seq\":%d,\"msg\":%d",
+			pid, tid, chromeTS(e.At), e.Kind.String(), e.Peer, e.Gen, e.Seq, e.Msg)
+		if e.Note != "" {
+			bw.printf(",\"note\":%q", e.Note)
+		}
+		bw.printf("}}")
+	}
+	closeBlock := func(k blockKey, o blockOpen, end sim.Time) {
+		if !first {
+			bw.printf(",\n")
+		}
+		first = false
+		dur := int64(end.Sub(o.at))
+		bw.printf("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%d.%03d,\"name\":\"blocked\",\"args\":{\"gen\":%d,\"seq\":%d}}",
+			chromePidLinks, o.tid, chromeTS(o.at), dur/1000, dur%1000, k.gen, k.seq)
+	}
+	for _, e := range events {
+		pid, tid := chromePidNICs, int(e.Node)
+		if e.Link != 0 {
+			pid, tid = chromePidLinks, linkTid(e.Link, e.Dir)
+		}
+		emit(e, pid, tid)
+		switch e.Kind {
+		case EvLinkBlock:
+			open[blockKey{e.Gen, e.Seq, e.Link, e.Dir}] = blockOpen{e.At, tid}
+		case EvLinkAcquire:
+			k := blockKey{e.Gen, e.Seq, e.Link, e.Dir}
+			if o, ok := open[k]; ok {
+				closeBlock(k, o, e.At)
+				delete(open, k)
+			}
+		case EvWatchdog, EvFabDrop:
+			// Close the dead worm's open blocks. An original and its
+			// retransmitted clone share (gen, seq), so more than one key
+			// can match; sort for byte-stable output.
+			var ks []blockKey
+			for k := range open {
+				if k.gen == e.Gen && k.seq == e.Seq {
+					ks = append(ks, k)
+				}
+			}
+			sort.Slice(ks, func(i, j int) bool {
+				if ks[i].link != ks[j].link {
+					return ks[i].link < ks[j].link
+				}
+				return ks[i].dir < ks[j].dir
+			})
+			for _, k := range ks {
+				closeBlock(k, open[k], e.At)
+				delete(open, k)
+			}
+		}
+	}
+	bw.printf("\n]}\n")
+	return bw.err
+}
+
+// WriteTimeline writes events as the deterministic text timeline, one
+// line per event in emission order.
+func WriteTimeline(w io.Writer, events []Event) error {
+	bw := &errWriter{w: w}
+	for _, e := range events {
+		bw.printf("%s\n", e.String())
+	}
+	return bw.err
+}
+
+// errWriter folds write errors so export loops stay uncluttered.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

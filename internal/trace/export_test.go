@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// exportEvents is a small fixture exercising every export code path:
+// NIC-track instants, link-track instants, and a blocked interval closed
+// first by an acquire and then by a watchdog.
+func exportEvents() []Event {
+	link := func(at int, k Kind, linkID int32, dir uint8, seq uint64) Event {
+		e := mkev(at, 0, 1, k, 1, seq, 3)
+		e.Link = linkID
+		e.Dir = dir
+		return e
+	}
+	return []Event{
+		mkev(1000, 0, 1, EvHostSend, 1, 0, 3),
+		mkev(1500, 0, 1, EvSend, 1, 0, 3),
+		link(2000, EvLinkBlock, 1, 0, 0),
+		link(2750, EvLinkAcquire, 1, 0, 0),
+		link(3000, EvLinkBlock, 2, 1, 1),
+		link(4500, EvWatchdog, 2, 1, 1),
+		mkev(5000, 1, 0, EvMsgComplete, 1, 0, 3),
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, exportEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Name string  `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	var meta, inst, dur int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "i":
+			inst++
+		case "X":
+			dur++
+			if e.Pid != chromePidLinks || e.Name != "blocked" {
+				t.Fatalf("duration event on wrong track: %+v", e)
+			}
+		}
+	}
+	// 2 process names + 2 nic tracks + 2 link tracks.
+	if meta != 6 {
+		t.Fatalf("metadata events = %d, want 6", meta)
+	}
+	if inst != len(exportEvents()) {
+		t.Fatalf("instants = %d, want %d", inst, len(exportEvents()))
+	}
+	// One block closed by acquire, one by the watchdog.
+	if dur != 2 {
+		t.Fatalf("blocked durations = %d, want 2", dur)
+	}
+	// Metadata must precede all data events so Perfetto names tracks.
+	firstData := -1
+	lastMeta := -1
+	for i, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			lastMeta = i
+		} else if firstData < 0 {
+			firstData = i
+		}
+	}
+	if lastMeta > firstData {
+		t.Fatal("metadata interleaved with data events")
+	}
+}
+
+func TestWriteChromeTraceTimestamps(t *testing.T) {
+	// 2000ns must render as "2.000" µs, with integer math only.
+	if got := chromeTS(exportEvents()[2].At); got != "2.000" {
+		t.Fatalf("chromeTS = %q", got)
+	}
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, exportEvents()); err != nil {
+		t.Fatal(err)
+	}
+	// The acquire-closed block: 2000→2750ns = 0.750µs duration.
+	if !strings.Contains(b.String(), "\"ts\":2.000,\"dur\":0.750") {
+		t.Fatalf("blocked duration not rendered:\n%s", b.String())
+	}
+}
+
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := WriteChromeTrace(&a, exportEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, exportEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("chrome trace output not byte-stable")
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	var b strings.Builder
+	if err := WriteTimeline(&b, exportEvents()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != len(exportEvents()) {
+		t.Fatalf("timeline has %d lines, want %d", len(lines), len(exportEvents()))
+	}
+	if !strings.Contains(lines[0], "host-send") || !strings.Contains(lines[5], "watchdog") {
+		t.Fatalf("timeline content wrong:\n%s", b.String())
+	}
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"sanft/internal/sim"
+)
+
+func TestFlightRecorderSnapshotsOnAnomaly(t *testing.T) {
+	f := NewFlightRecorder(16)
+	f.Trace(ev(0, EvSend))
+	f.Trace(ev(1, EvInject))
+	f.Trace(Event{At: sim.Time(5000), Node: 1, Kind: EvWatchdog, Peer: 2})
+	f.Trace(ev(3, EvRetransmit))
+
+	snaps := f.Snapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %d, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.Trigger != "watchdog" || s.At != sim.Time(5000) {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// The snapshot includes the anomaly itself, but not later events.
+	if len(s.Events) != 3 || s.Events[2].Kind != EvWatchdog {
+		t.Fatalf("frozen window = %v", s.Events)
+	}
+	if f.Triggered() != 1 {
+		t.Fatalf("triggered = %d", f.Triggered())
+	}
+	// Non-anomaly kinds never freeze.
+	if f.Ring().Total() != 4 {
+		t.Fatalf("ring total = %d", f.Ring().Total())
+	}
+}
+
+func TestFlightRecorderMaxSnapshots(t *testing.T) {
+	f := NewFlightRecorder(16)
+	f.MaxSnapshots = 2
+	for i := 0; i < 5; i++ {
+		f.Trace(Event{At: sim.Time(i * 1000), Node: 1, Kind: EvQuarantine, Peer: 2})
+	}
+	if len(f.Snapshots()) != 2 {
+		t.Fatalf("retained %d snapshots, want 2", len(f.Snapshots()))
+	}
+	if f.Triggered() != 5 {
+		t.Fatalf("triggered = %d, want 5 (drops still counted)", f.Triggered())
+	}
+}
+
+func TestFlightRecorderSnapshotWindow(t *testing.T) {
+	f := NewFlightRecorder(64)
+	f.SnapshotWindow = 4
+	for i := 0; i < 20; i++ {
+		f.Trace(ev(i, EvSend))
+	}
+	f.TriggerSnapshot("invariant:buffers", sim.Time(99000))
+	snaps := f.Snapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %d", len(snaps))
+	}
+	s := snaps[0]
+	if s.Trigger != "invariant:buffers" {
+		t.Fatalf("trigger = %q", s.Trigger)
+	}
+	if len(s.Events) != 4 || s.Events[0].Seq != 16 || s.Events[3].Seq != 19 {
+		t.Fatalf("window = %v, want newest 4 events (seqs 16..19)", s.Events)
+	}
+	if s.Total != 20 {
+		t.Fatalf("snapshot total = %d, want 20", s.Total)
+	}
+}
+
+func TestFlightRecorderCustomTriggers(t *testing.T) {
+	f := NewFlightRecorder(16)
+	if !f.Triggers[EvWatchdog] || !f.Triggers[EvUnreachable] || !f.Triggers[EvQuarantine] {
+		t.Fatal("default trigger set should contain the anomaly kinds")
+	}
+	delete(f.Triggers, EvWatchdog)
+	f.Triggers[EvFabDrop] = true
+	f.Trace(Event{Kind: EvWatchdog, Node: 1, Peer: 2})
+	f.Trace(Event{Kind: EvFabDrop, Node: 1, Peer: 2})
+	if f.Triggered() != 1 || f.Snapshots()[0].Trigger != "fab-drop" {
+		t.Fatalf("custom triggers not honoured: %d triggers", f.Triggered())
+	}
+}
+
+func TestFlightRecorderDump(t *testing.T) {
+	f := NewFlightRecorder(16)
+	f.Trace(ev(0, EvSend))
+	f.Trace(Event{At: sim.Time(7000), Node: 3, Kind: EvUnreachable, Peer: 4})
+	d := f.Dump()
+	for _, want := range []string{
+		"1 triggers, 1 snapshots retained",
+		"trigger=unreachable",
+		"unreachable",
+	} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("dump missing %q:\n%s", want, d)
+		}
+	}
+	// Dump must be deterministic.
+	if f.Dump() != d {
+		t.Fatal("dump not stable across calls")
+	}
+}

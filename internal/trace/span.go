@@ -1,0 +1,275 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sanft/internal/sim"
+	"sanft/internal/topology"
+)
+
+// SpanKey identifies one message span: the sending node, the receiving
+// node, and the per-destination VMMC message ID stamped at send time.
+type SpanKey struct {
+	Src, Dst topology.NodeID
+	Msg      uint64
+}
+
+// Span is the reconstructed end-to-end story of one message: every traced
+// event that carried its identity, in emission order, plus derived
+// accounting.
+type Span struct {
+	Key SpanKey
+	// Start is the EvHostSend instant (or the first event seen); End the
+	// EvMsgComplete instant (zero if the message never completed).
+	Start, End sim.Time
+	Events     []Event
+
+	// Retransmits counts go-back-N re-queues of the span's frames.
+	Retransmits int
+	// Drops counts frames of this span lost anywhere: send-side error
+	// injection, fabric drops, and receive-side discards.
+	Drops int
+	// Blocked sums the wormhole head-of-line blocking intervals of the
+	// span's packets (EvLinkBlock to the matching EvLinkAcquire, or to
+	// the watchdog/drop that killed the worm).
+	Blocked time.Duration
+	// RetransWait sums, per retransmission, the time since that frame's
+	// previous transmission attempt — the latency component spent waiting
+	// for the periodic timer to recover a loss.
+	RetransWait time.Duration
+
+	complete bool
+}
+
+// Complete reports whether the span saw its EvMsgComplete.
+func (s *Span) Complete() bool { return s.complete }
+
+// Latency returns End-Start for complete spans, 0 otherwise.
+func (s *Span) Latency() time.Duration {
+	if !s.complete {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// spanKeyOf normalizes an event to its message identity: events recorded
+// at the receiver swap Node/Peer so both sides land in one span.
+func spanKeyOf(e Event) SpanKey {
+	if e.Kind.receiverSide() {
+		return SpanKey{Src: e.Peer, Dst: e.Node, Msg: e.Msg}
+	}
+	return SpanKey{Src: e.Node, Dst: e.Peer, Msg: e.Msg}
+}
+
+// BuildSpans groups events by message identity and derives per-span
+// accounting. Events without a message ID (control frames, remap
+// lifecycle) are skipped. Spans are returned sorted by (Src, Dst, Msg).
+func BuildSpans(events []Event) []*Span {
+	spans := make(map[SpanKey]*Span)
+	var order []SpanKey
+	for _, e := range events {
+		if e.Msg == 0 {
+			continue
+		}
+		key := spanKeyOf(e)
+		sp := spans[key]
+		if sp == nil {
+			sp = &Span{Key: key, Start: e.At}
+			spans[key] = sp
+			order = append(order, key)
+		}
+		sp.Events = append(sp.Events, e)
+		switch e.Kind {
+		case EvHostSend:
+			sp.Start = e.At
+		case EvMsgComplete:
+			sp.End = e.At
+			sp.complete = true
+		case EvRetransmit:
+			sp.Retransmits++
+		case EvErrDrop, EvFabDrop, EvDupDrop, EvOooDrop, EvCrcDrop:
+			sp.Drops++
+		}
+	}
+	for _, sp := range spans {
+		sp.Blocked = blockedTime(sp.Events)
+		sp.RetransWait = retransWait(sp.Events)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Msg < b.Msg
+	})
+	out := make([]*Span, len(order))
+	for i, k := range order {
+		out[i] = spans[k]
+	}
+	return out
+}
+
+// blockKey distinguishes concurrent worms of one span (chunks, or an
+// original racing its retransmitted clone) on one directed channel.
+type blockKey struct {
+	gen  uint32
+	seq  uint64
+	link int32
+	dir  uint8
+}
+
+// blockedTime pairs each EvLinkBlock with the event that resolved it —
+// the matching EvLinkAcquire, or the watchdog/fabric drop that killed the
+// blocked worm — and sums the intervals.
+func blockedTime(events []Event) time.Duration {
+	open := make(map[blockKey]sim.Time)
+	var total time.Duration
+	for _, e := range events {
+		switch e.Kind {
+		case EvLinkBlock:
+			open[blockKey{e.Gen, e.Seq, e.Link, e.Dir}] = e.At
+		case EvLinkAcquire:
+			k := blockKey{e.Gen, e.Seq, e.Link, e.Dir}
+			if t0, ok := open[k]; ok {
+				total += e.At.Sub(t0)
+				delete(open, k)
+			}
+		case EvWatchdog, EvFabDrop:
+			// The worm died; close whatever block it was parked in.
+			for k, t0 := range open {
+				if k.gen == e.Gen && k.seq == e.Seq {
+					total += e.At.Sub(t0)
+					delete(open, k)
+				}
+			}
+		}
+	}
+	return total
+}
+
+// retransWait sums, for each retransmission, the gap back to the frame's
+// previous transmission attempt (send, injection, drop, or earlier
+// retransmission of the same (gen, seq)).
+func retransWait(events []Event) time.Duration {
+	type frameID struct {
+		gen uint32
+		seq uint64
+	}
+	last := make(map[frameID]sim.Time)
+	var total time.Duration
+	for _, e := range events {
+		id := frameID{e.Gen, e.Seq}
+		switch e.Kind {
+		case EvSend, EvInject, EvErrDrop, EvFabDrop:
+			last[id] = e.At
+		case EvRetransmit:
+			if t0, ok := last[id]; ok {
+				total += e.At.Sub(t0)
+			}
+			last[id] = e.At
+		}
+	}
+	return total
+}
+
+// RecoveryTimeline is the reconstructed story around one anomaly: the
+// trigger event plus every event in a time window that shares the
+// anomaly's path (same node pair) or, for fabric anomalies, its link.
+type RecoveryTimeline struct {
+	Trigger Event
+	Window  []Event
+}
+
+// RecoveryTimelines extracts one timeline per anomaly event (Kind.Anomaly),
+// with Window spanning [Trigger.At-before, Trigger.At+after]. At most max
+// timelines are returned (0 means no bound).
+func RecoveryTimelines(events []Event, before, after time.Duration, max int) []RecoveryTimeline {
+	var out []RecoveryTimeline
+	for _, a := range events {
+		if !a.Kind.Anomaly() {
+			continue
+		}
+		if max > 0 && len(out) >= max {
+			break
+		}
+		lo, hi := a.At.Add(-before), a.At.Add(after)
+		var win []Event
+		for _, e := range events {
+			if e.At.Before(lo) || e.At.After(hi) {
+				continue
+			}
+			if related(a, e) {
+				win = append(win, e)
+			}
+		}
+		out = append(out, RecoveryTimeline{Trigger: a, Window: win})
+	}
+	return out
+}
+
+// RecoveryFromSnapshots reconstructs timelines from flight-recorder
+// snapshots instead of the live ring — the fallback for long runs where
+// the anomalies have already scrolled out of the ring. Each anomaly-kind
+// snapshot ends at its trigger event (the recorder freezes after
+// recording it), so the timeline covers [Trigger.At-before, Trigger.At];
+// external triggers (invariant violations) carry no anchor event and are
+// skipped. At most max timelines are returned (0 means no bound).
+func RecoveryFromSnapshots(snaps []Snapshot, before time.Duration, max int) []RecoveryTimeline {
+	var out []RecoveryTimeline
+	for _, s := range snaps {
+		if max > 0 && len(out) >= max {
+			break
+		}
+		if len(s.Events) == 0 {
+			continue
+		}
+		a := s.Events[len(s.Events)-1]
+		if !a.Kind.Anomaly() {
+			continue
+		}
+		lo := a.At.Add(-before)
+		var win []Event
+		for _, e := range s.Events {
+			if e.At.Before(lo) {
+				continue
+			}
+			if related(a, e) {
+				win = append(win, e)
+			}
+		}
+		out = append(out, RecoveryTimeline{Trigger: a, Window: win})
+	}
+	return out
+}
+
+// related reports whether e belongs in anomaly a's story: same unordered
+// node pair, or same link for fabric events.
+func related(a, e Event) bool {
+	if a.Link != 0 && e.Link == a.Link {
+		return true
+	}
+	return (e.Node == a.Node && e.Peer == a.Peer) ||
+		(e.Node == a.Peer && e.Peer == a.Node)
+}
+
+func (t RecoveryTimeline) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "recovery around %s at %v (nic%d peer=%d): %d related events\n",
+		t.Trigger.Kind, t.Trigger.At, t.Trigger.Node, t.Trigger.Peer, len(t.Window))
+	for _, e := range t.Window {
+		marker := "  "
+		if e == t.Trigger {
+			marker = "> "
+		}
+		b.WriteString(marker)
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sanft/internal/sim"
+	"sanft/internal/topology"
+)
+
+// mkev builds a fully-specified event for span tests.
+func mkev(at int, node, peer int, k Kind, gen uint32, seq, msg uint64) Event {
+	return Event{At: sim.Time(at), Node: topology.NodeID(node), Kind: k,
+		Peer: topology.NodeID(peer), Gen: gen, Seq: seq, Msg: msg}
+}
+
+func TestBuildSpansBasic(t *testing.T) {
+	events := []Event{
+		mkev(100, 0, 1, EvHostSend, 1, 0, 7),
+		mkev(110, 0, 1, EvSend, 1, 5, 7),
+		mkev(120, 0, 1, EvInject, 1, 5, 7),
+		// Receiver-side events carry (Node=dst, Peer=src); the span key
+		// normalizes them back to src→dst.
+		mkev(200, 1, 0, EvAccept, 1, 5, 7),
+		mkev(210, 1, 0, EvMsgComplete, 1, 5, 7),
+		// Control traffic (Msg == 0) never lands in a span.
+		mkev(220, 1, 0, EvAckTx, 1, 5, 0),
+	}
+	spans := BuildSpans(events)
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Key != (SpanKey{Src: 0, Dst: 1, Msg: 7}) {
+		t.Fatalf("key = %+v", sp.Key)
+	}
+	if !sp.Complete() || sp.Latency() != 110*time.Nanosecond {
+		t.Fatalf("complete=%v latency=%v, want true/110ns", sp.Complete(), sp.Latency())
+	}
+	if len(sp.Events) != 5 {
+		t.Fatalf("span holds %d events, want 5 (ack excluded)", len(sp.Events))
+	}
+}
+
+func TestBuildSpansAccounting(t *testing.T) {
+	events := []Event{
+		mkev(0, 0, 1, EvHostSend, 1, 3, 9),
+		mkev(10, 0, 1, EvSend, 1, 3, 9),
+		mkev(20, 0, 1, EvErrDrop, 1, 3, 9),
+		mkev(1020, 0, 1, EvRetransmit, 1, 3, 9),
+		mkev(1030, 0, 1, EvInject, 1, 3, 9),
+		mkev(1100, 1, 0, EvCrcDrop, 1, 3, 9),
+		mkev(2030, 0, 1, EvRetransmit, 1, 3, 9),
+		mkev(2100, 1, 0, EvAccept, 1, 3, 9),
+		mkev(2110, 1, 0, EvMsgComplete, 1, 3, 9),
+	}
+	spans := BuildSpans(events)
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	sp := spans[0]
+	if sp.Retransmits != 2 || sp.Drops != 2 {
+		t.Fatalf("rtx=%d drops=%d, want 2/2", sp.Retransmits, sp.Drops)
+	}
+	// First retransmit: 1020-20 (since the err-drop) = 1000ns. Second:
+	// 2030-1030 (since the re-injection) = 1000ns. Total 2000ns.
+	if sp.RetransWait != 2000*time.Nanosecond {
+		t.Fatalf("retransWait = %v, want 2µs", sp.RetransWait)
+	}
+}
+
+func TestBuildSpansIncomplete(t *testing.T) {
+	events := []Event{
+		mkev(0, 2, 3, EvHostSend, 1, 0, 1),
+		mkev(10, 2, 3, EvSend, 1, 0, 1),
+		mkev(20, 2, 3, EvUnreachable, 1, 0, 1),
+	}
+	sp := BuildSpans(events)[0]
+	if sp.Complete() || sp.Latency() != 0 {
+		t.Fatalf("incomplete span reports complete=%v latency=%v", sp.Complete(), sp.Latency())
+	}
+}
+
+func TestBuildSpansSorted(t *testing.T) {
+	events := []Event{
+		mkev(0, 2, 0, EvHostSend, 1, 0, 2),
+		mkev(1, 0, 1, EvHostSend, 1, 0, 5),
+		mkev(2, 0, 1, EvHostSend, 1, 1, 3),
+		mkev(3, 2, 0, EvHostSend, 1, 1, 1),
+	}
+	spans := BuildSpans(events)
+	var got []SpanKey
+	for _, sp := range spans {
+		got = append(got, sp.Key)
+	}
+	want := []SpanKey{
+		{Src: 0, Dst: 1, Msg: 3},
+		{Src: 0, Dst: 1, Msg: 5},
+		{Src: 2, Dst: 0, Msg: 1},
+		{Src: 2, Dst: 0, Msg: 2},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("spans = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBlockedTime(t *testing.T) {
+	link := func(at int, k Kind, linkID int32, dir uint8) Event {
+		e := mkev(at, 0, 1, k, 1, 4, 6)
+		e.Link = linkID
+		e.Dir = dir
+		return e
+	}
+	events := []Event{
+		mkev(0, 0, 1, EvHostSend, 1, 4, 6),
+		link(100, EvLinkBlock, 2, 0),
+		link(400, EvLinkAcquire, 2, 0), // 300ns blocked
+		link(500, EvLinkBlock, 3, 1),
+		link(700, EvWatchdog, 3, 1), // watchdog closes the block: +200ns
+	}
+	sp := BuildSpans(events)[0]
+	if sp.Blocked != 500*time.Nanosecond {
+		t.Fatalf("blocked = %v, want 500ns", sp.Blocked)
+	}
+	// An acquire with no prior block contributes nothing.
+	sp2 := BuildSpans([]Event{
+		mkev(0, 0, 1, EvHostSend, 1, 4, 6),
+		link(100, EvLinkAcquire, 2, 0),
+	})[0]
+	if sp2.Blocked != 0 {
+		t.Fatalf("unpaired acquire counted: %v", sp2.Blocked)
+	}
+}
+
+func TestRecoveryTimelines(t *testing.T) {
+	events := []Event{
+		mkev(0, 0, 1, EvSend, 1, 0, 0),
+		mkev(500, 0, 1, EvSend, 1, 1, 0),
+		mkev(1000, 0, 1, EvWatchdog, 1, 1, 0),
+		mkev(1200, 0, 1, EvRetransmit, 1, 1, 0),
+		mkev(1300, 4, 5, EvSend, 1, 0, 0), // unrelated pair, inside window
+		mkev(9000, 0, 1, EvSend, 1, 2, 0), // related, outside window
+	}
+	tls := RecoveryTimelines(events, 600*time.Nanosecond, 600*time.Nanosecond, 0)
+	if len(tls) != 1 {
+		t.Fatalf("timelines = %d, want 1", len(tls))
+	}
+	tl := tls[0]
+	if tl.Trigger.Kind != EvWatchdog {
+		t.Fatalf("trigger = %v", tl.Trigger)
+	}
+	if len(tl.Window) != 3 {
+		t.Fatalf("window = %v, want send@500, watchdog, retransmit", tl.Window)
+	}
+	for _, e := range tl.Window {
+		if e.Node == 4 {
+			t.Fatal("unrelated pair leaked into the window")
+		}
+	}
+	s := tl.String()
+	if !strings.Contains(s, "> ") || !strings.Contains(s, "watchdog") {
+		t.Fatalf("timeline string = %q", s)
+	}
+
+	// max bounds the number of timelines.
+	many := append(events,
+		mkev(2000, 0, 1, EvWatchdog, 1, 2, 0),
+		mkev(3000, 0, 1, EvWatchdog, 1, 3, 0))
+	if got := len(RecoveryTimelines(many, 0, 0, 2)); got != 2 {
+		t.Fatalf("max ignored: %d timelines", got)
+	}
+}
+
+func TestRecoveryFromSnapshots(t *testing.T) {
+	f := NewFlightRecorder(16)
+	f.Trace(mkev(100, 0, 1, EvSend, 1, 0, 0))
+	f.Trace(mkev(200, 4, 5, EvSend, 1, 0, 0)) // unrelated pair
+	f.Trace(mkev(900, 0, 1, EvUnreachable, 1, 0, 0))
+	f.Trace(mkev(950, 0, 1, EvRetransmit, 1, 0, 0))
+	f.TriggerSnapshot("invariant:buffers", sim.Time(1000)) // no anchor event: skipped
+
+	tls := RecoveryFromSnapshots(f.Snapshots(), time.Microsecond, 0)
+	if len(tls) != 1 {
+		t.Fatalf("timelines = %d, want 1 (invariant snapshot skipped)", len(tls))
+	}
+	tl := tls[0]
+	if tl.Trigger.Kind != EvUnreachable {
+		t.Fatalf("trigger = %v", tl.Trigger)
+	}
+	if len(tl.Window) != 2 {
+		t.Fatalf("window = %v, want send@100 + unreachable", tl.Window)
+	}
+}

@@ -1,8 +1,25 @@
-// Package trace provides an optional packet-level event tracer for
-// debugging protocol behavior. A NIC given a Tracer emits one event per
-// protocol action (send, inject, error-injection drop, retransmission,
-// receive verdicts, acks, remaps); the ring buffer keeps the most recent
-// events and renders them as a timeline.
+// Package trace provides causal, cross-layer tracing for the simulated
+// platform: one event per protocol or fabric action, correlated across
+// layers by the (src, gen, seq) identity the retransmission protocol
+// stamps at send time plus the VMMC message ID, so a single message can
+// be followed end-to-end — VMMC send, NIC send queue, DMA, per-switch
+// worm hops, receive verdict, ack or retransmit, delivery.
+//
+// The pieces:
+//
+//   - Event / Kind: one traced action. NIC-level events carry (peer, gen,
+//     seq, msg); fabric hop events additionally carry the directed channel
+//     (link, dir); drops carry a reason note.
+//   - Ring: a fixed-capacity tracer keeping the newest events.
+//   - FlightRecorder (flight.go): a Ring that freezes a snapshot of its
+//     contents when an anomaly event fires (watchdog reset, unreachable,
+//     quarantine) or an external trigger calls in (chaos invariant
+//     violation).
+//   - BuildSpans / RecoveryTimelines (span.go): per-message span
+//     reconstruction and anomaly-centered recovery stories.
+//   - WriteChromeTrace / WriteTimeline (export.go): Perfetto-loadable
+//     Chrome trace-event JSON (one track per NIC and per directed link)
+//     and a deterministic text timeline.
 //
 // Tracing is off unless wired, and costs nothing when disabled (a nil
 // check per event site).
@@ -10,6 +27,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"sanft/internal/sim"
@@ -51,13 +69,48 @@ const (
 	EvRemapDefer
 	// EvQuarantine: repeated remap failures quarantined the peer.
 	EvQuarantine
+	// EvRemapDone: a mapping run completed successfully and installed a
+	// fresh route.
+	EvRemapDone
+	// EvPathStale: the permanent-failure detector flagged a destination
+	// (no ack progress past the threshold) and raised the remap upcall.
+	EvPathStale
+	// EvNoRoute: a frame needed transmission but no route was installed.
+	EvNoRoute
+	// EvHostSend: the application handed a message to VMMC (span start).
+	EvHostSend
+	// EvMsgComplete: the receiving VMMC endpoint completed a message —
+	// every chunk deposited in host memory (span end).
+	EvMsgComplete
+	// EvLinkBlock: a worm parked waiting for a busy directed channel
+	// (wormhole head-of-line blocking).
+	EvLinkBlock
+	// EvLinkAcquire: a worm was granted a directed channel.
+	EvLinkAcquire
+	// EvLinkRelease: a worm's tail cleared a directed channel.
+	EvLinkRelease
+	// EvWatchdog: the blocked-path watchdog reset a worm.
+	EvWatchdog
+	// EvFabDrop: the fabric discarded a packet; Note carries the reason.
+	EvFabDrop
+	// EvDeliver: a packet's tail fully arrived at the destination host.
+	EvDeliver
+
+	// numKinds counts the Ev* constants; keep it last.
+	numKinds
 )
 
 var kindNames = [...]string{
 	"send", "inject", "err-drop", "retransmit", "accept", "dup-drop",
 	"ooo-drop", "crc-drop", "ack-tx", "ack-rx", "gen-reset", "unreachable",
-	"remap-start", "remap-defer", "quarantine",
+	"remap-start", "remap-defer", "quarantine", "remap-done", "path-stale",
+	"no-route", "host-send", "msg-complete", "link-block", "link-acquire",
+	"link-release", "watchdog", "fab-drop", "deliver",
 }
+
+// Compile-time guard: adding a Kind without extending kindNames (or the
+// reverse) produces a constant index-out-of-range error here.
+var _ = [1]struct{}{}[len(kindNames)-int(numKinds)]
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -66,19 +119,61 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
-// Event is one traced protocol action.
+// receiverSide reports whether events of this kind are recorded at the
+// message's destination (Node = dst, Peer = src). All other kinds are
+// recorded at — or attributed to — the source.
+func (k Kind) receiverSide() bool {
+	switch k {
+	case EvAccept, EvDupDrop, EvOooDrop, EvCrcDrop, EvAckTx, EvMsgComplete:
+		return true
+	}
+	return false
+}
+
+// Anomaly reports whether an event of this kind freezes the flight
+// recorder and anchors a recovery timeline: watchdog resets, unreachable
+// verdicts, and quarantines.
+func (k Kind) Anomaly() bool {
+	switch k {
+	case EvWatchdog, EvUnreachable, EvQuarantine:
+		return true
+	}
+	return false
+}
+
+// Event is one traced action.
 type Event struct {
 	At   sim.Time
-	Node topology.NodeID // the NIC that recorded the event
+	Node topology.NodeID // the NIC (or packet source, for fabric events)
 	Kind Kind
 	Peer topology.NodeID // the other end (destination or source)
 	Gen  uint32
 	Seq  uint64
+	// Msg is the VMMC message ID the frame belongs to (0 for control
+	// frames and untraced payloads).
+	Msg uint64
+	// Link identifies the directed channel of fabric hop events as
+	// linkID+1 (0 means "no link"); Dir is the channel direction.
+	Link int32
+	Dir  uint8
+	// Note carries a static detail string: the drop reason for EvFabDrop,
+	// the trigger name on flight-recorder snapshots.
+	Note string
 }
 
 func (e Event) String() string {
-	return fmt.Sprintf("[%12v] nic%-3d %-11s peer=%-3d gen=%d seq=%d",
+	s := fmt.Sprintf("[%12v] nic%-3d %-12s peer=%-3d gen=%d seq=%d",
 		e.At, e.Node, e.Kind, e.Peer, e.Gen, e.Seq)
+	if e.Msg != 0 {
+		s += fmt.Sprintf(" msg=%d", e.Msg)
+	}
+	if e.Link != 0 {
+		s += fmt.Sprintf(" link=%d.%d", e.Link-1, e.Dir)
+	}
+	if e.Note != "" {
+		s += " " + e.Note
+	}
+	return s
 }
 
 // Tracer receives events. Implementations must be cheap; they run inline
@@ -151,5 +246,23 @@ func (r *Ring) Counts() map[Kind]int {
 	for _, e := range r.Events() {
 		out[e.Kind]++
 	}
+	return out
+}
+
+// KindCount is one row of CountsSorted.
+type KindCount struct {
+	Kind  Kind
+	Count int
+}
+
+// CountsSorted aggregates retained events by kind, ordered by kind — the
+// deterministic rendering of Counts for examples and reports.
+func (r *Ring) CountsSorted() []KindCount {
+	m := r.Counts()
+	out := make([]KindCount, 0, len(m))
+	for k, c := range m {
+		out = append(out, KindCount{k, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
 	return out
 }

@@ -30,6 +30,7 @@ import (
 	"sanft/internal/sim"
 	"sanft/internal/stats"
 	"sanft/internal/topology"
+	"sanft/internal/trace"
 )
 
 // Notification reports a completed message arrival to the exporting
@@ -185,6 +186,7 @@ func (imp *Import) Send(p *sim.Proc, offset int, data []byte, notify bool) uint6
 	}
 	ep.nextMsgID[imp.Remote]++
 	msgID := ep.nextMsgID[imp.Remote]
+	ep.n.EmitMsgEvent(trace.EvHostSend, imp.Remote, msgID)
 	mtu := ep.n.Cost().MTU
 	start := p.Now()
 	if len(data) == 0 {
@@ -272,6 +274,7 @@ func (ep *Endpoint) onDeliver(f *proto.Frame) {
 	// Message complete.
 	delete(ep.partial, key)
 	cw.mark(d.MsgID)
+	ep.n.EmitMsgEvent(trace.EvMsgComplete, f.Src, d.MsgID)
 	if !d.Notify {
 		return
 	}

@@ -139,6 +139,22 @@ func WithSampling(every time.Duration) Option {
 	return func(c *Config) { c.Metrics.SampleEvery = every }
 }
 
+// WithTracing wires tr as the cluster-wide tracer: every NIC protocol
+// action, fabric hop event, VMMC message-lifecycle event, and remap
+// lifecycle event is recorded through it. Typically a *TraceRing (plain
+// ring buffer) or a *FlightRecorder. Zero cost when absent.
+func WithTracing(tr Tracer) Option {
+	return func(c *Config) { c.Tracer = tr }
+}
+
+// WithFlightRecorder wires fr as the cluster tracer. A flight recorder is
+// a ring that additionally freezes a snapshot of its window whenever an
+// anomaly fires (watchdog reset, unreachable verdict, quarantine), so the
+// events leading up to a fault survive even after the ring wraps.
+func WithFlightRecorder(fr *FlightRecorder) Option {
+	return func(c *Config) { c.Tracer = fr }
+}
+
 // New builds a cluster from functional options:
 //
 //	c := sanft.New(

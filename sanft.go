@@ -114,11 +114,30 @@ type (
 	Tracer     = trace.Tracer
 	TraceRing  = trace.Ring
 	TraceEvent = trace.Event
+	// TraceKind discriminates trace events (send, link-block, watchdog, ...).
+	TraceKind = trace.Kind
+	// FlightRecorder is a tracer that freezes ring snapshots on anomalies;
+	// TraceSnapshot is one frozen window.
+	FlightRecorder = trace.FlightRecorder
+	TraceSnapshot  = trace.Snapshot
+	// TraceSpan is the reconstructed end-to-end story of one message;
+	// TraceSpanKey its (src, dst, message-ID) identity.
+	TraceSpan    = trace.Span
+	TraceSpanKey = trace.SpanKey
+	// TraceRecovery is the reconstructed event window around one anomaly.
+	TraceRecovery = trace.RecoveryTimeline
 )
 
 // NewTraceRing returns a ring-buffer tracer holding up to n events; wire
-// it with NIC.SetTracer.
+// it with WithTracing (cluster-wide) or NIC.SetTracer (one NIC).
 func NewTraceRing(n int) *TraceRing { return trace.NewRing(n) }
+
+// NewFlightRecorder returns a flight-recorder tracer ringing the newest n
+// events; wire it with WithFlightRecorder.
+func NewFlightRecorder(n int) *FlightRecorder { return trace.NewFlightRecorder(n) }
+
+// BuildSpans groups trace events into per-message spans (see TraceSpan).
+func BuildSpans(events []TraceEvent) []*TraceSpan { return trace.BuildSpans(events) }
 
 // DefaultParams returns the paper's best-compromise protocol parameters:
 // a 32-buffer send queue and a 1 ms retransmission timer.
