@@ -1,0 +1,46 @@
+package chaos_test
+
+// Wires the shared proptest determinism contract into the chaos layer:
+// every campaign, run twice with the same seed, must produce a
+// byte-identical report — counts, MTTR summary, violations, and the full
+// event log. A diff here means something in the fault/recovery path is
+// iterating a map or reading wall-clock state.
+
+import (
+	"fmt"
+	"testing"
+
+	"sanft/internal/chaos"
+	"sanft/internal/proptest"
+)
+
+// campaignDump renders one campaign run's complete observable output.
+func campaignDump(name string) func(seed int64) []byte {
+	return func(seed int64) []byte {
+		camp, ok := chaos.Find(name)
+		if !ok {
+			return []byte("campaign not found: " + name)
+		}
+		r := camp.Run(seed)
+		out := fmt.Sprintf(
+			"faults %d events %d pairs %d expected %d delivered %d dups %d\n"+
+				"remaps %d unreachables %d stats %+v\nmttr %s\n",
+			r.Faults, r.Events, r.Pairs, r.Expected, r.Delivered, r.Duplicates,
+			r.Remaps, r.Unreachables, r.RemapStats, r.MTTR)
+		for _, v := range r.Violations {
+			out += fmt.Sprintf("violation %+v\n", v)
+		}
+		return []byte(out + r.EventLog)
+	}
+}
+
+func TestCampaignDumpsDeterministic(t *testing.T) {
+	for i, camp := range chaos.Campaigns() {
+		if testing.Short() && i >= 2 {
+			break
+		}
+		t.Run(camp.Name, func(t *testing.T) {
+			proptest.RequireDeterministic(t, 9, campaignDump(camp.Name))
+		})
+	}
+}

@@ -34,6 +34,12 @@ type Workload struct {
 	Msgs  int           // default 6
 	Bytes int           // default 512
 	Gap   time.Duration // default 200µs
+
+	// OnNotify, if set, observes every notification as it arrives (in
+	// event context), in delivery order per pair. External checkers — the
+	// proptest ordering oracle, for one — need the sequence, which Counts
+	// alone cannot reconstruct.
+	OnNotify func(Pair, uint64)
 }
 
 // Run is a started workload's observation state. Receivers record every
@@ -79,6 +85,9 @@ func (w Workload) Start(e *Engine) *Run {
 			for {
 				n := exp.WaitNotification(p)
 				r.Counts[pr][n.MsgID]++
+				if w.OnNotify != nil {
+					w.OnNotify(pr, n.MsgID)
+				}
 				if last, ok := r.lastDelivery[pr]; ok {
 					e.observeGap(p.Now().Sub(last))
 				}

@@ -1,0 +1,67 @@
+package fabric
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"sanft/internal/topology"
+)
+
+// jamStar injects one long-lived worm from each of srcs toward dst so that
+// one holds dst's ingress channel and the rest queue behind it.
+func jamStar(f *Fabric, srcs []topology.NodeID, dst topology.NodeID, onDrop func(*Packet, DropReason)) {
+	for _, s := range srcs {
+		pkt := mkPacket(f.Network(), s, dst, 1<<20)
+		if onDrop != nil {
+			pkt := pkt
+			pkt.OnDropped = func(r DropReason) { onDrop(pkt, r) }
+		}
+		f.Inject(s, pkt)
+	}
+}
+
+func TestFlushOrderIsInjectionOrder(t *testing.T) {
+	// Regression: flushWhere used to walk the worm map directly, so the
+	// victim drop order — and everything downstream of the drop callbacks —
+	// varied between runs of the same seed.
+	k, f, hosts, _ := testNet(t, 6)
+	srcs := hosts[1:]
+	var order []topology.NodeID
+	jamStar(f, srcs, hosts[0], func(p *Packet, r DropReason) {
+		if r != DropFlushed {
+			t.Errorf("drop reason = %v, want flushed", r)
+		}
+		order = append(order, p.Src)
+	})
+	k.After(time.Microsecond, func() {
+		f.KillLink(f.Network().Node(hosts[0]).Ports[0])
+	})
+	k.Run()
+	if len(order) != len(srcs) {
+		t.Fatalf("flushed %d worms, want %d", len(order), len(srcs))
+	}
+	for i, s := range srcs {
+		if order[i] != s {
+			t.Fatalf("flush order %v, want injection order %v", order, srcs)
+		}
+	}
+}
+
+func TestInFlightDetailSorted(t *testing.T) {
+	k, f, hosts, _ := testNet(t, 6)
+	var detail []string
+	jamStar(f, hosts[1:], hosts[0], nil)
+	k.After(time.Microsecond, func() { detail = f.InFlightDetail() })
+	k.Run()
+	if len(detail) != 5 {
+		t.Fatalf("detail lines = %d, want 5:\n%s", len(detail), strings.Join(detail, "\n"))
+	}
+	for i, line := range detail {
+		want := fmt.Sprintf("worm#%d ", i+1)
+		if !strings.HasPrefix(line, want) {
+			t.Fatalf("line %d = %q, want prefix %q (injection order)", i, line, want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
@@ -63,6 +64,7 @@ type Fabric struct {
 	chans   map[chanKey]*channelState
 	deliver map[topology.NodeID]func(*Packet)
 	worms   map[*worm]struct{} // in-flight, for flush operations
+	wormSeq uint64             // injection-order serial for deterministic worm ordering
 
 	// transitHook, if set, runs once per packet at delivery time and may
 	// mutate it (set Corrupted) or return false to drop it in transit.
@@ -234,7 +236,8 @@ func (f *Fabric) Inject(src topology.NodeID, pkt *Packet) {
 		}
 		return
 	}
-	w := &worm{f: f, pkt: pkt, curNode: src}
+	f.wormSeq++
+	w := &worm{f: f, pkt: pkt, curNode: src, seq: f.wormSeq}
 	f.worms[w] = struct{}{}
 	e := l.Other(src)
 	w.request(keyFor(l, src), e.Node)
@@ -281,15 +284,26 @@ func (f *Fabric) KillSwitch(id topology.NodeID) {
 }
 
 func (f *Fabric) flushWhere(pred func(*worm) bool) {
-	var victims []*worm
-	for w := range f.worms {
-		if pred(w) {
-			victims = append(victims, w)
-		}
-	}
+	// The worm set is a map: kill victims in injection order, or the drop
+	// events (and the waiter promotions they cause) would reorder from run
+	// to run.
+	victims := f.wormsInOrder(pred)
 	for _, w := range victims {
 		w.die(DropFlushed)
 	}
+}
+
+// wormsInOrder returns the in-flight worms matching pred, in injection
+// order.
+func (f *Fabric) wormsInOrder(pred func(*worm) bool) []*worm {
+	var out []*worm
+	for w := range f.worms {
+		if pred == nil || pred(w) {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
 }
 
 // InFlightDetail describes each in-flight worm — held channels, what it is
@@ -297,7 +311,7 @@ func (f *Fabric) flushWhere(pred func(*worm) bool) {
 // audits: at quiesce this should be empty.
 func (f *Fabric) InFlightDetail() []string {
 	var out []string
-	for w := range f.worms {
+	for _, w := range f.wormsInOrder(nil) {
 		held := 0
 		for _, k := range w.held {
 			if cs := f.chans[k]; cs != nil && cs.holder == w {
@@ -313,8 +327,8 @@ func (f *Fabric) InFlightDetail() []string {
 			wait = fmt.Sprintf("link%d.%d[%s q=%d]", w.waitKey.link, w.waitKey.dir, h, len(w.waiting.waiters))
 		}
 		out = append(out, fmt.Sprintf(
-			"worm src=%d dst=%d size=%d routeIdx=%d/%d held=%d/%d wait=%s watchdog=%v dead=%v",
-			w.pkt.Src, w.pkt.Dst, w.pkt.Size, w.routeIdx, len(w.pkt.Route),
+			"worm#%d src=%d dst=%d size=%d routeIdx=%d/%d held=%d/%d wait=%s watchdog=%v dead=%v",
+			w.seq, w.pkt.Src, w.pkt.Dst, w.pkt.Size, w.routeIdx, len(w.pkt.Route),
 			held, len(w.held), wait, w.watchdog != nil, w.dead))
 	}
 	return out

@@ -14,6 +14,11 @@ import (
 type worm struct {
 	f   *Fabric
 	pkt *Packet
+	// seq is the worm's injection-order serial number. The worm set is a
+	// map, so every operation that visits several worms (flushes on a
+	// kill, in-flight diagnostics) orders them by seq to keep runs with
+	// the same seed byte-identical.
+	seq uint64
 
 	curNode  topology.NodeID // node whose output we last left / are leaving
 	routeIdx int             // next route byte to consume

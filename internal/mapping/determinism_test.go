@@ -1,0 +1,56 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"sanft/internal/routing"
+	"sanft/internal/sim"
+	"sanft/internal/topology"
+)
+
+// mapOnce runs one fresh MapTo against a chain topology and returns a
+// printable digest of everything the run produced.
+func mapOnce(t *testing.T) string {
+	t.Helper()
+	nw, rows := topology.Chain(3, 3, 1)
+	hosts := nw.Hosts()
+	r := newRig(t, nw, hosts, false)
+	mapper := rows[0][0]
+	target := rows[2][2]
+	m := New(r.k, r.nics[mapper], Config{})
+	var fwd, rev routing.Route
+	var st Stats
+	var ok bool
+	var mp *Map
+	r.k.Spawn("mapper", func(p *sim.Proc) {
+		mp, st = m.run(p, target)
+		fwd, rev, ok = mp.RouteTo(target)
+	})
+	r.k.RunFor(5 * time.Second)
+	r.k.Stop()
+	if !ok {
+		t.Fatalf("target not found; stats %+v", st)
+	}
+	var locs []string
+	for h, loc := range mp.Hosts {
+		locs = append(locs, fmt.Sprintf("host %d @ sw%d port%d", h, loc.sw, loc.port))
+	}
+	sort.Strings(locs)
+	return fmt.Sprintf("fwd=%v rev=%v stats=%+v hosts=%v", fwd, rev, st, locs)
+}
+
+func TestMapToDeterministic(t *testing.T) {
+	// Regression: adopting a discovered switch's fingerprint hosts used to
+	// range over the port map directly, and the early return on finding the
+	// target made HostsFound — and which hosts entered the map at all —
+	// depend on Go's randomized map iteration order.
+	want := mapOnce(t)
+	for i := 1; i < 4; i++ {
+		if got := mapOnce(t); got != want {
+			t.Fatalf("run %d diverged:\n  first: %s\n  now:   %s", i, want, got)
+		}
+	}
+}

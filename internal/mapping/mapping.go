@@ -380,8 +380,17 @@ func (m *Mapper) run(p *sim.Proc, target topology.NodeID) (mp *Map, st Stats) {
 			}
 			ni := len(mp.Switches)
 			sw.ports[q] = portContent{kind: portSwitch, sw: ni}
-			// Adopt the fingerprint hosts into the map.
-			for hq, c := range next.ports {
+			// Adopt the fingerprint hosts into the map. Iterate ports in
+			// ascending order: the early return on finding the target makes
+			// HostsFound (and which hosts get adopted) depend on visit
+			// order, and map range order would vary run to run.
+			hqs := make([]int, 0, len(next.ports))
+			for hq := range next.ports {
+				hqs = append(hqs, hq)
+			}
+			sort.Ints(hqs)
+			for _, hq := range hqs {
+				c := next.ports[hq]
 				if c.kind != portHost {
 					continue
 				}

@@ -1,0 +1,300 @@
+package proptest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sanft/internal/trace"
+)
+
+// Corpus files are line-oriented text so failures diff readably in review
+// and the fuzzer can mutate them meaningfully.
+//
+// Lockstep ("lockstep v1"):
+//
+//	lockstep v1
+//	seed 42
+//	queue 4
+//	dests 2
+//	mutation ack-eager
+//	op send 0
+//	op deliver 0
+//
+// Simulator ("sim v1"):
+//
+//	sim v1
+//	seed 42
+//	topo chain hosts 2 switches 3 width 1 topo-seed 7
+//	pairs 2 msgs 4 bytes 512 gap 200000
+//	fault link-kill at 3000000 dur 0 idx 1 rate 0
+
+// FormatOps encodes a lockstep scenario (plus the mutation it must be run
+// under) as a corpus file.
+func FormatOps(sc OpScenario, mut Mutation) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lockstep v1\n")
+	fmt.Fprintf(&b, "seed %d\n", sc.Seed)
+	fmt.Fprintf(&b, "queue %d\n", sc.QueueSize)
+	fmt.Fprintf(&b, "dests %d\n", sc.Dests)
+	fmt.Fprintf(&b, "mutation %s\n", mut)
+	for _, op := range sc.Ops {
+		fmt.Fprintf(&b, "op %s %d\n", op.Kind, op.Dst)
+	}
+	return []byte(b.String())
+}
+
+// ParseOps decodes a lockstep corpus file.
+func ParseOps(data []byte) (OpScenario, Mutation, error) {
+	var sc OpScenario
+	mut := MutNone
+	s := bufio.NewScanner(strings.NewReader(string(data)))
+	if !s.Scan() || strings.TrimSpace(s.Text()) != "lockstep v1" {
+		return sc, mut, fmt.Errorf("proptest: not a lockstep v1 corpus file")
+	}
+	for s.Scan() {
+		line := strings.TrimSpace(s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		var err error
+		switch f[0] {
+		case "seed":
+			_, err = fmt.Sscanf(line, "seed %d", &sc.Seed)
+		case "queue":
+			_, err = fmt.Sscanf(line, "queue %d", &sc.QueueSize)
+		case "dests":
+			_, err = fmt.Sscanf(line, "dests %d", &sc.Dests)
+		case "mutation":
+			if len(f) != 2 {
+				return sc, mut, fmt.Errorf("proptest: bad mutation line %q", line)
+			}
+			mut, err = parseMutation(f[1])
+		case "op":
+			if len(f) != 3 {
+				return sc, mut, fmt.Errorf("proptest: bad op line %q", line)
+			}
+			var op Op
+			op.Kind, err = parseOpKind(f[1])
+			if err == nil {
+				_, err = fmt.Sscanf(f[2], "%d", &op.Dst)
+			}
+			sc.Ops = append(sc.Ops, op)
+		default:
+			err = fmt.Errorf("unknown directive %q", f[0])
+		}
+		if err != nil {
+			return sc, mut, fmt.Errorf("proptest: parse %q: %w", line, err)
+		}
+	}
+	if sc.QueueSize < 1 || sc.QueueSize > 1024 {
+		return sc, mut, fmt.Errorf("proptest: queue size %d out of range", sc.QueueSize)
+	}
+	if sc.Dests < 1 || sc.Dests > 64 {
+		return sc, mut, fmt.Errorf("proptest: dest count %d out of range", sc.Dests)
+	}
+	return sc, mut, nil
+}
+
+func parseOpKind(s string) (OpKind, error) {
+	for i, n := range opNames {
+		if s == n {
+			return OpKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown op kind %q", s)
+}
+
+func parseMutation(s string) (Mutation, error) {
+	for _, m := range []Mutation{MutNone, MutAckEager, MutAcceptOOO} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return MutNone, fmt.Errorf("unknown mutation %q", s)
+}
+
+// FormatSim encodes a simulator scenario as a corpus file.
+func FormatSim(sc SimScenario) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim v1\n")
+	fmt.Fprintf(&b, "seed %d\n", sc.Seed)
+	fmt.Fprintf(&b, "topo %s hosts %d switches %d width %d topo-seed %d\n",
+		sc.Topo.Kind, sc.Topo.Hosts, sc.Topo.Switches, sc.Topo.Width, sc.Topo.Seed)
+	fmt.Fprintf(&b, "pairs %d msgs %d bytes %d gap %d\n", sc.Pairs, sc.Msgs, sc.Bytes, sc.Gap.Nanoseconds())
+	for _, f := range sc.Faults {
+		fmt.Fprintf(&b, "fault %s at %d dur %d idx %d rate %g\n",
+			f.Kind, f.At.Nanoseconds(), f.Dur.Nanoseconds(), f.Index, f.Rate)
+	}
+	return []byte(b.String())
+}
+
+// ParseSim decodes a simulator corpus file.
+func ParseSim(data []byte) (SimScenario, error) {
+	var sc SimScenario
+	s := bufio.NewScanner(strings.NewReader(string(data)))
+	if !s.Scan() || strings.TrimSpace(s.Text()) != "sim v1" {
+		return sc, fmt.Errorf("proptest: not a sim v1 corpus file")
+	}
+	for s.Scan() {
+		line := strings.TrimSpace(s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		var err error
+		switch f[0] {
+		case "seed":
+			_, err = fmt.Sscanf(line, "seed %d", &sc.Seed)
+		case "topo":
+			if len(f) != 10 {
+				return sc, fmt.Errorf("proptest: bad topo line %q", line)
+			}
+			sc.Topo.Kind, err = parseTopoKind(f[1])
+			if err == nil {
+				_, err = fmt.Sscanf(strings.Join(f[2:], " "),
+					"hosts %d switches %d width %d topo-seed %d",
+					&sc.Topo.Hosts, &sc.Topo.Switches, &sc.Topo.Width, &sc.Topo.Seed)
+			}
+		case "pairs":
+			var gapNS int64
+			_, err = fmt.Sscanf(line, "pairs %d msgs %d bytes %d gap %d",
+				&sc.Pairs, &sc.Msgs, &sc.Bytes, &gapNS)
+			sc.Gap = time.Duration(gapNS)
+		case "fault":
+			if len(f) != 10 {
+				return sc, fmt.Errorf("proptest: bad fault line %q", line)
+			}
+			var fe FaultEvent
+			fe.Kind, err = parseFaultKind(f[1])
+			if err == nil {
+				var atNS, durNS int64
+				_, err = fmt.Sscanf(strings.Join(f[2:], " "),
+					"at %d dur %d idx %d rate %g", &atNS, &durNS, &fe.Index, &fe.Rate)
+				fe.At, fe.Dur = time.Duration(atNS), time.Duration(durNS)
+			}
+			sc.Faults = append(sc.Faults, fe)
+		default:
+			err = fmt.Errorf("unknown directive %q", f[0])
+		}
+		if err != nil {
+			return sc, fmt.Errorf("proptest: parse %q: %w", line, err)
+		}
+	}
+	return sc, sc.validate()
+}
+
+func (sc SimScenario) validate() error {
+	switch {
+	case sc.Pairs < 0 || sc.Pairs > 256:
+		return fmt.Errorf("proptest: pairs %d out of range", sc.Pairs)
+	case sc.Msgs < 0 || sc.Msgs > 256:
+		return fmt.Errorf("proptest: msgs %d out of range", sc.Msgs)
+	case sc.Bytes < 0 || sc.Bytes > 1<<16:
+		return fmt.Errorf("proptest: bytes %d out of range", sc.Bytes)
+	case sc.Gap < 0 || sc.Gap > time.Second:
+		return fmt.Errorf("proptest: gap %v out of range", sc.Gap)
+	case len(sc.Faults) > 64:
+		return fmt.Errorf("proptest: %d faults, max 64", len(sc.Faults))
+	}
+	for _, f := range sc.Faults {
+		if f.At < 0 || f.At > 10*time.Second || f.Dur < 0 || f.Dur > 10*time.Second {
+			return fmt.Errorf("proptest: fault %v out of time range", f)
+		}
+		if f.Rate < 0 || f.Rate > 1 {
+			return fmt.Errorf("proptest: fault rate %g out of range", f.Rate)
+		}
+	}
+	return nil
+}
+
+func parseTopoKind(s string) (TopoKind, error) {
+	for i, n := range topoNames {
+		if s == n {
+			return TopoKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown topology kind %q", s)
+}
+
+func parseFaultKind(s string) (FaultKind, error) {
+	for i, n := range faultNames {
+		if s == n {
+			return FaultKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown fault kind %q", s)
+}
+
+// OpsFromBytes decodes raw fuzzer input into a lockstep scenario: two
+// header bytes pick the structure, every following byte is one op. Any
+// byte string is a valid scenario.
+func OpsFromBytes(data []byte) OpScenario {
+	sc := OpScenario{QueueSize: 2, Dests: 1}
+	if len(data) == 0 {
+		return sc
+	}
+	sc.QueueSize = []int{1, 2, 3, 4, 8, 16, 24, 32}[int(data[0])%8]
+	if len(data) < 2 {
+		return sc
+	}
+	sc.Dests = 1 + int(data[1])%4
+	for _, b := range data[2:] {
+		sc.Ops = append(sc.Ops, Op{
+			Kind: OpKind(b % uint8(numOpKinds)),
+			Dst:  int(b/uint8(numOpKinds)) % sc.Dests,
+		})
+	}
+	return sc
+}
+
+// WriteFailureArtifacts dumps everything needed to triage a failing
+// simulator scenario into dir: the corpus repro, the flight-recorder text
+// dump, and a Perfetto-loadable trace. Returns the corpus file path.
+func WriteFailureArtifacts(dir, name string, res *SimResult) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	corpusPath := filepath.Join(dir, name+".sim")
+	if err := os.WriteFile(corpusPath, FormatSim(res.Scenario), 0o644); err != nil {
+		return "", err
+	}
+	report := fmt.Sprintf("# proptest failure: seed %d\n# violations:\n", res.Scenario.Seed)
+	for _, v := range res.Violations {
+		report += "#   " + v + "\n"
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".txt"), []byte(report), 0o644); err != nil {
+		return corpusPath, err
+	}
+	if res.Recorder != nil {
+		events := res.Recorder.Ring().Events()
+		if err := writeFile(filepath.Join(dir, name+".timeline"), func(w io.Writer) error {
+			return trace.WriteTimeline(w, events)
+		}); err != nil {
+			return corpusPath, err
+		}
+		if err := writeFile(filepath.Join(dir, name+".perfetto.json"), func(w io.Writer) error {
+			return trace.WriteChromeTrace(w, events)
+		}); err != nil {
+			return corpusPath, err
+		}
+	}
+	return corpusPath, nil
+}
+
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,50 @@
+package proptest
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"sanft/internal/trace"
+)
+
+// RequireDeterministic runs dump twice with the same seed and fails t if
+// the outputs differ byte for byte. dump should rebuild its entire world
+// from the seed (cluster, workload, exporters) and return every observable
+// it cares about — metrics dumps, trace timelines, report text. Any
+// map-iteration leak, stray time.Now, or global-RNG use shows up as a diff.
+func RequireDeterministic(t testing.TB, seed int64, dump func(seed int64) []byte) {
+	t.Helper()
+	a := dump(seed)
+	b := dump(seed)
+	if bytes.Equal(a, b) {
+		return
+	}
+	la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			t.Fatalf("seed %d: two runs diverged at line %d:\n  run 1: %s\n  run 2: %s",
+				seed, i+1, la[i], lb[i])
+		}
+	}
+	t.Fatalf("seed %d: two runs diverged in length: %d vs %d bytes (%d vs %d lines)",
+		seed, len(a), len(b), len(la), len(lb))
+}
+
+// SimDump renders one simulator scenario's full observable state as text:
+// the outcome summary, every violation, and the flight-recorder timeline.
+// Designed as the dump argument to RequireDeterministic.
+func SimDump(seed int64) []byte {
+	res := RunSim(GenSim(seed))
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "scenario %d: %s\n", seed, res.Summary())
+	for _, v := range res.Violations {
+		fmt.Fprintf(&b, "violation: %s\n", v)
+	}
+	if res.Recorder != nil {
+		if err := trace.WriteTimeline(&b, res.Recorder.Ring().Events()); err != nil {
+			fmt.Fprintf(&b, "timeline error: %v\n", err)
+		}
+	}
+	return b.Bytes()
+}

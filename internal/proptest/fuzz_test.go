@@ -1,0 +1,112 @@
+package proptest
+
+import (
+	"testing"
+	"time"
+
+	"sanft/internal/fabric"
+	"sanft/internal/mapping"
+	"sanft/internal/nic"
+	"sanft/internal/retrans"
+	"sanft/internal/routing"
+	"sanft/internal/sim"
+	"sanft/internal/topology"
+)
+
+// FuzzRetransProtocol feeds arbitrary byte strings through the lockstep
+// differential checker: any decoded schedule on which the implementation
+// and the reference model disagree is a finding.
+func FuzzRetransProtocol(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{3, 1, 0, 2, 4, 6, 0, 9, 18, 27, 36, 45})
+	for seed := int64(1); seed <= 8; seed++ {
+		sc := GenOps(seed)
+		data := []byte{byte(sc.QueueSize), byte(sc.Dests - 1)}
+		for _, op := range sc.Ops {
+			data = append(data, uint8(op.Kind)+uint8(numOpKinds)*uint8(op.Dst))
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return
+		}
+		sc := OpsFromBytes(data)
+		if div := RunLockstep(sc, MutNone); div != nil {
+			t.Fatalf("divergence: %v\nrepro:\n%s", div, FormatOps(sc, MutNone))
+		}
+	})
+}
+
+// byteAt is a total accessor for fuzz input.
+func byteAt(data []byte, i int) byte {
+	if i < len(data) {
+		return data[i]
+	}
+	return 0
+}
+
+// FuzzMapper decodes fuzz input into a topology plus a set of link kills,
+// then runs the on-demand mapper. Properties: the mapper terminates within
+// the time bound, and any route it reports must actually walk to the
+// target (and its reverse back to the mapper) on the damaged topology.
+func FuzzMapper(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 3, 0, 0, 0, 1})
+	f.Add([]byte{1, 1, 2, 1, 7, 0, 3})
+	f.Add([]byte{4, 4, 3, 0, 9, 2, 1, 5, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			return
+		}
+		ts := TopoSpec{
+			Kind:     TopoKind(byteAt(data, 0) % uint8(numTopoKinds)),
+			Hosts:    1 + int(byteAt(data, 1))%6,
+			Switches: 2 + int(byteAt(data, 2))%3,
+			Width:    1 + int(byteAt(data, 3))%2,
+			Seed:     int64(byteAt(data, 4)),
+		}
+		nw, hosts := ts.Build()
+		if len(hosts) < 2 {
+			return
+		}
+		k := sim.New(1)
+		fab := fabric.New(k, nw, fabric.DefaultConfig())
+		nics := make(map[topology.NodeID]*nic.NIC)
+		for _, h := range hosts {
+			nics[h] = nic.New(k, fab, h, nic.Options{
+				FT:      true,
+				Retrans: retrans.Config{QueueSize: 16, Interval: time.Millisecond},
+			})
+		}
+		mapper, target := hosts[0], hosts[1+int(byteAt(data, 5))%(len(hosts)-1)]
+		for _, b := range data[min(6, len(data)):] {
+			if len(nw.Links) == 0 {
+				break
+			}
+			fab.KillLink(nw.Links[int(b)%len(nw.Links)])
+		}
+		m := mapping.New(k, nics[mapper], mapping.Config{})
+		var fwd, rev routing.Route
+		var ok, done bool
+		k.Spawn("fuzz-mapper", func(p *sim.Proc) {
+			fwd, rev, _, ok = m.MapTo(p, target)
+			done = true
+		})
+		k.RunFor(3 * time.Second)
+		k.Stop()
+		if !done || !ok {
+			return // not finding a route (or running out of time) is legal
+		}
+		res, err := routing.Walk(nw, mapper, fwd)
+		if err != nil || res.Dst != target {
+			t.Fatalf("mapper returned invalid route %v to %d on damaged topology: %v -> %v",
+				fwd, target, err, res.Dst)
+		}
+		rres, err := routing.Walk(nw, target, rev)
+		if err != nil || rres.Dst != mapper {
+			t.Fatalf("mapper returned invalid reverse route %v: %v -> %v", rev, err, rres.Dst)
+		}
+	})
+}

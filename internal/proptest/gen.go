@@ -1,0 +1,201 @@
+package proptest
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sanft/internal/topology"
+)
+
+// TopoKind selects a topology family for a generated scenario.
+type TopoKind uint8
+
+const (
+	// TopoStar: n hosts on one switch — no trunks, pure endpoint stress.
+	TopoStar TopoKind = iota
+	// TopoChain: k switches in a row, Width parallel trunks between
+	// neighbors; Width 1 makes every trunk a single point of failure.
+	TopoChain
+	// TopoRing: k switches in a cycle — redundant paths both ways around.
+	TopoRing
+	// TopoDoubleStar: two switches, every host dual-homed.
+	TopoDoubleStar
+	// TopoRandom: irregular switch graph with biased degree.
+	TopoRandom
+
+	numTopoKinds
+)
+
+var topoNames = [...]string{"star", "chain", "ring", "double-star", "random"}
+
+func (k TopoKind) String() string {
+	if int(k) < len(topoNames) {
+		return topoNames[k]
+	}
+	return fmt.Sprintf("topo(%d)", uint8(k))
+}
+
+// TopoSpec is a buildable topology description. Fields are interpreted per
+// kind and clamped to each builder's legal range, so every spec builds.
+type TopoSpec struct {
+	Kind     TopoKind
+	Hosts    int   // hosts total (star/double-star/random) or per switch
+	Switches int   // switch count where the family has one
+	Width    int   // parallel trunks (chain)
+	Seed     int64 // wiring seed (random)
+}
+
+// Build realizes the spec into a network and its host list.
+func (ts TopoSpec) Build() (*topology.Network, []topology.NodeID) {
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	switch ts.Kind {
+	case TopoChain:
+		k := clamp(ts.Switches, 2, 4)
+		per := clamp(ts.Hosts, 1, 3)
+		width := clamp(ts.Width, 1, 2)
+		nw, rows := topology.Chain(k, per, width)
+		return nw, flatten(rows)
+	case TopoRing:
+		k := clamp(ts.Switches, 3, 5)
+		per := clamp(ts.Hosts, 1, 2)
+		nw, rows := topology.Ring(k, per)
+		return nw, flatten(rows)
+	case TopoDoubleStar:
+		return topology.DoubleStar(clamp(ts.Hosts, 2, 8))
+	case TopoRandom:
+		return topology.Random(clamp(ts.Hosts, 2, 6), clamp(ts.Switches, 2, 4), 8, 3.0, ts.Seed)
+	default:
+		return topology.Star(clamp(ts.Hosts, 2, 8))
+	}
+}
+
+func flatten(rows [][]topology.NodeID) []topology.NodeID {
+	var out []topology.NodeID
+	for _, row := range rows {
+		out = append(out, row...)
+	}
+	return out
+}
+
+// FaultKind selects one injected failure.
+type FaultKind uint8
+
+const (
+	// FaultLinkFlap kills a trunk link and restores it after Dur.
+	FaultLinkFlap FaultKind = iota
+	// FaultLinkKill kills a trunk link permanently.
+	FaultLinkKill
+	// FaultSwitchFlap kills a switch and restores it after Dur.
+	FaultSwitchFlap
+	// FaultDropBurst injects send-side drops at Rate on one host for Dur.
+	FaultDropBurst
+
+	numFaultKinds
+)
+
+var faultNames = [...]string{"link-flap", "link-kill", "switch-flap", "drop-burst"}
+
+func (k FaultKind) String() string {
+	if int(k) < len(faultNames) {
+		return faultNames[k]
+	}
+	return fmt.Sprintf("fault(%d)", uint8(k))
+}
+
+// FaultEvent is one scheduled failure. Index selects the victim modulo the
+// candidate set at install time, so any event is valid on any topology
+// (events with no candidates — a trunk fault on a star — are no-ops).
+type FaultEvent struct {
+	Kind  FaultKind
+	At    time.Duration
+	Dur   time.Duration
+	Index int
+	Rate  float64 // drop-burst only
+}
+
+func (f FaultEvent) String() string {
+	return fmt.Sprintf("%s@%v idx=%d dur=%v rate=%g", f.Kind, f.At, f.Index, f.Dur, f.Rate)
+}
+
+// SimScenario is a complete simulator-level test case: a topology, a fault
+// schedule, and a workload. Everything the run does derives from these
+// fields plus Seed.
+type SimScenario struct {
+	Seed   int64
+	Topo   TopoSpec
+	Faults []FaultEvent
+	Pairs  int // directed traffic pairs, drawn deterministically from Seed
+	Msgs   int // messages per pair
+	Bytes  int // message size
+	Gap    time.Duration
+}
+
+// GenSim derives a simulator scenario from a single seed.
+func GenSim(seed int64) SimScenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := SimScenario{
+		Seed: seed,
+		Topo: TopoSpec{
+			Kind:     TopoKind(rng.Intn(int(numTopoKinds))),
+			Hosts:    1 + rng.Intn(6),
+			Switches: 2 + rng.Intn(3),
+			Width:    1 + rng.Intn(2),
+			Seed:     rng.Int63(),
+		},
+		Pairs: 1 + rng.Intn(6),
+		Msgs:  2 + rng.Intn(5),
+		Bytes: []int{128, 512, 1024}[rng.Intn(3)],
+		Gap:   time.Duration(100+rng.Intn(400)) * time.Microsecond,
+	}
+	nFaults := rng.Intn(4)
+	for i := 0; i < nFaults; i++ {
+		f := FaultEvent{
+			Kind:  FaultKind(rng.Intn(int(numFaultKinds))),
+			At:    time.Duration(rng.Intn(20)) * time.Millisecond,
+			Dur:   time.Duration(1+rng.Intn(15)) * time.Millisecond,
+			Index: rng.Intn(8),
+		}
+		if f.Kind == FaultDropBurst {
+			f.Rate = []float64{0.01, 0.05, 0.2}[rng.Intn(3)]
+		}
+		sc.Faults = append(sc.Faults, f)
+	}
+	return sc
+}
+
+// pairList draws sc.Pairs directed pairs from hosts, deterministically from
+// sc.Seed. The draw is prefix-stable: shrinking Pairs keeps a prefix of the
+// same pair sequence.
+func (sc SimScenario) pairList(hosts []topology.NodeID) []pairKey {
+	if len(hosts) < 2 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(sc.Seed ^ 0x9a175))
+	var out []pairKey
+	seen := make(map[pairKey]bool)
+	// Bounded rejection sampling: with few hosts the distinct-pair space
+	// can be smaller than Pairs, so cap the draws rather than demanding
+	// the full count.
+	for tries := 0; len(out) < sc.Pairs && tries < 64*sc.Pairs+64; tries++ {
+		p := pairKey{hosts[rng.Intn(len(hosts))], hosts[rng.Intn(len(hosts))]}
+		if p.src == p.dst || seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+type pairKey struct {
+	src, dst topology.NodeID
+}

@@ -1,0 +1,514 @@
+package proptest
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sanft/internal/proto"
+	"sanft/internal/retrans"
+	"sanft/internal/sim"
+	"sanft/internal/topology"
+)
+
+// OpKind enumerates the lockstep schedule alphabet. Every op is total: when
+// its precondition does not hold (send with no free buffer, deliver from an
+// empty wire) it is a no-op on both the implementation and the model, so any
+// subsequence of a failing schedule is itself a valid schedule — which is
+// what makes shrinking sound.
+type OpKind uint8
+
+const (
+	// OpSend prepares a packet and transmits it onto the wire.
+	OpSend OpKind = iota
+	// OpSendLost prepares and transmits, but the frame is consumed by
+	// send-side error injection and never reaches the wire.
+	OpSendLost
+	// OpDeliver hands the oldest wire frame to the receiver.
+	OpDeliver
+	// OpDropWire discards the oldest wire frame (transit loss).
+	OpDropWire
+	// OpAck makes the receiver emit its cumulative ack (delayed-ack timer
+	// firing, or a piggyback opportunity) and the sender process it.
+	OpAck
+	// OpAckLost emits the cumulative ack but loses it on the reverse path.
+	OpAckLost
+	// OpTick advances time past the retransmission interval and fires the
+	// go-back-N timer; retransmitted frames go onto the wire.
+	OpTick
+	// OpReset performs a generation reset (successful remap, §4.2) and
+	// retransmits the renumbered queue.
+	OpReset
+	// OpUnreachable marks the destination unreachable, dropping its queue.
+	OpUnreachable
+
+	numOpKinds
+)
+
+var opNames = [...]string{
+	"send", "send-lost", "deliver", "drop-wire", "ack", "ack-lost",
+	"tick", "reset", "unreachable",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one scheduled protocol event aimed at destination index Dst.
+type Op struct {
+	Kind OpKind
+	Dst  int
+}
+
+func (o Op) String() string { return fmt.Sprintf("%s@%d", o.Kind, o.Dst) }
+
+// OpScenario is a complete lockstep test case: fully determined by its
+// fields, no hidden randomness.
+type OpScenario struct {
+	Seed      int64
+	QueueSize int
+	Dests     int
+	Ops       []Op
+}
+
+// GenOps derives a lockstep scenario from a single seed.
+func GenOps(seed int64) OpScenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := OpScenario{
+		Seed:      seed,
+		QueueSize: []int{2, 3, 4, 8, 16}[rng.Intn(5)],
+		Dests:     1 + rng.Intn(3),
+	}
+	n := 20 + rng.Intn(41)
+	for i := 0; i < n; i++ {
+		sc.Ops = append(sc.Ops, Op{Kind: randOpKind(rng), Dst: rng.Intn(sc.Dests)})
+	}
+	return sc
+}
+
+// randOpKind picks an op kind, biased toward the productive ones so
+// schedules actually move data instead of spinning on resets.
+func randOpKind(rng *rand.Rand) OpKind {
+	switch r := rng.Intn(100); {
+	case r < 30:
+		return OpSend
+	case r < 36:
+		return OpSendLost
+	case r < 60:
+		return OpDeliver
+	case r < 66:
+		return OpDropWire
+	case r < 78:
+		return OpAck
+	case r < 82:
+		return OpAckLost
+	case r < 92:
+		return OpTick
+	case r < 96:
+		return OpReset
+	default:
+		return OpUnreachable
+	}
+}
+
+// Mutation selects a deliberate protocol bug injected into the real side of
+// the lockstep run, to prove the differential checker can see it.
+type Mutation uint8
+
+const (
+	// MutNone runs the implementation unmodified.
+	MutNone Mutation = iota
+	// MutAckEager acknowledges one sequence number beyond what the
+	// receiver has committed — the classic ack-before-commit bug: a loss
+	// of the in-flight frame after such an ack is silent data loss.
+	MutAckEager
+	// MutAcceptOOO delivers an out-of-order frame instead of dropping it,
+	// violating the drop-don't-buffer FIFO contract.
+	MutAcceptOOO
+)
+
+func (m Mutation) String() string {
+	switch m {
+	case MutNone:
+		return "none"
+	case MutAckEager:
+		return "ack-eager"
+	case MutAcceptOOO:
+		return "accept-ooo"
+	}
+	return fmt.Sprintf("mutation(%d)", uint8(m))
+}
+
+// Divergence describes the first point where implementation and model
+// disagreed. OpIndex is -1 when the divergence surfaced during the final
+// drain rather than under a scheduled op.
+type Divergence struct {
+	Scenario OpScenario
+	OpIndex  int
+	Kind     string
+	Detail   string
+}
+
+func (d *Divergence) Error() string {
+	at := "drain"
+	if d.OpIndex >= 0 {
+		at = fmt.Sprintf("op %d (%s)", d.OpIndex, d.Scenario.Ops[d.OpIndex])
+	}
+	return fmt.Sprintf("lockstep divergence at %s: %s: %s", at, d.Kind, d.Detail)
+}
+
+// wireFrame is one data frame in flight on the harness-owned lossy FIFO
+// channel toward a destination.
+type wireFrame struct {
+	gen uint32
+	seq uint64
+	req proto.AckLevel
+}
+
+// lockstep drives one real Sender plus per-destination Receivers against
+// the reference model over a simulated wire.
+type lockstep struct {
+	sc  OpScenario
+	mut Mutation
+
+	s     *retrans.Sender
+	rcvs  []*retrans.Receiver
+	model *refModel
+
+	now  sim.Time
+	wire [][]wireFrame
+
+	// delivered logs (gen, seq) pairs committed to each destination's
+	// host, on both sides, for the delivery-set/ordering oracle.
+	realDelivered  [][]wireFrame
+	modelDelivered [][]wireFrame
+
+	div *Divergence
+}
+
+// lockstepInterval is the retransmission timer period used by every
+// lockstep run; OpTick advances time by exactly this much.
+const lockstepInterval = time.Millisecond
+
+// srcNode is the (arbitrary, constant) node ID the single sender uses when
+// talking to receivers.
+const srcNode = topology.NodeID(0)
+
+// dstNode maps a destination index to a node ID for the real sender.
+func dstNode(d int) topology.NodeID { return topology.NodeID(d + 1) }
+
+// RunLockstep executes the scenario against both implementation and model
+// and returns the first divergence, or nil if they agreed throughout and
+// the protocol drained (liveness).
+func RunLockstep(sc OpScenario, mut Mutation) *Divergence {
+	if sc.QueueSize < 1 || sc.Dests < 1 {
+		return nil
+	}
+	ls := &lockstep{
+		sc:  sc,
+		mut: mut,
+		s: retrans.NewSender(retrans.Config{
+			QueueSize: sc.QueueSize,
+			Interval:  lockstepInterval,
+		}),
+		model:          newRefModel(sc.QueueSize, lockstepInterval),
+		wire:           make([][]wireFrame, sc.Dests),
+		realDelivered:  make([][]wireFrame, sc.Dests),
+		modelDelivered: make([][]wireFrame, sc.Dests),
+	}
+	for i := 0; i < sc.Dests; i++ {
+		ls.rcvs = append(ls.rcvs, retrans.NewReceiver(retrans.Config{
+			QueueSize: sc.QueueSize,
+			Interval:  lockstepInterval,
+		}))
+	}
+	for i, op := range sc.Ops {
+		ls.apply(i, op)
+		if ls.div != nil {
+			return ls.div
+		}
+	}
+	ls.drain()
+	return ls.div
+}
+
+func (ls *lockstep) fail(opIndex int, kind, format string, args ...any) {
+	if ls.div == nil {
+		ls.div = &Divergence{
+			Scenario: ls.sc, OpIndex: opIndex, Kind: kind,
+			Detail: fmt.Sprintf(format, args...),
+		}
+	}
+}
+
+// apply executes one op on both sides, cross-checking every observable.
+func (ls *lockstep) apply(i int, op Op) {
+	d := op.Dst
+	if d < 0 || d >= ls.sc.Dests {
+		return
+	}
+	ls.now = ls.now.Add(time.Microsecond)
+	switch op.Kind {
+	case OpSend:
+		ls.send(i, d, false)
+	case OpSendLost:
+		ls.send(i, d, true)
+	case OpDeliver:
+		ls.deliver(i, d)
+	case OpDropWire:
+		if len(ls.wire[d]) > 0 {
+			ls.wire[d] = ls.wire[d][1:]
+		}
+	case OpAck:
+		ls.emitAck(i, d, false)
+	case OpAckLost:
+		ls.emitAck(i, d, true)
+	case OpTick:
+		ls.now = ls.now.Add(lockstepInterval)
+		ls.tick(i)
+	case OpReset:
+		ls.reset(i, d)
+	case OpUnreachable:
+		ls.unreachable(i, d)
+	}
+}
+
+// send mirrors the NIC transmit path: reserve a buffer (no-op when none is
+// free), Prepare, compute the ack-request level from the post-reservation
+// free count, transmit. A lost send still consumes its transmission — the
+// entry sits in the queue awaiting the timer.
+func (ls *lockstep) send(i, d int, lost bool) {
+	free := ls.sc.QueueSize - ls.s.TotalUnacked()
+	if free <= 0 {
+		if ls.model.free() > 0 {
+			ls.fail(i, "buffers", "implementation out of buffers, model has %d free", ls.model.free())
+		}
+		return
+	}
+	if ls.model.free() <= 0 {
+		ls.fail(i, "buffers", "model out of buffers, implementation has %d free", free)
+		return
+	}
+	freeAfter := free - 1 // the NIC reserves the buffer before Prepare
+	e := ls.s.Prepare(dstNode(d), ls.now, freeAfter, nil, 64)
+	lvl := ls.s.AckRequestFor(e, freeAfter)
+	ls.s.OnTransmitted(e, ls.now)
+	mgen, mseq := ls.model.prepare(d, ls.now)
+	mlvl := ls.model.ackLevel(d, freeAfter)
+	if e.Gen != mgen || e.Seq != mseq {
+		ls.fail(i, "prepare", "implementation numbered (gen %d, seq %d), model (gen %d, seq %d)", e.Gen, e.Seq, mgen, mseq)
+		return
+	}
+	if lvl != mlvl {
+		ls.fail(i, "ack-request", "implementation requested %v, model %v", lvl, mlvl)
+		return
+	}
+	if !lost {
+		ls.wire[d] = append(ls.wire[d], wireFrame{gen: e.Gen, seq: e.Seq, req: lvl})
+	}
+}
+
+// deliver pops the oldest wire frame into d's receiver on both sides and
+// compares the verdicts; an immediate-ack verdict also emits the ack.
+func (ls *lockstep) deliver(i, d int) {
+	if len(ls.wire[d]) == 0 {
+		return
+	}
+	f := ls.wire[d][0]
+	ls.wire[d] = ls.wire[d][1:]
+	v := ls.rcvs[d].OnData(srcNode, f.gen, f.seq, f.req)
+	accept := v.Accept
+	if ls.mut == MutAcceptOOO && !accept {
+		// Inject the bug: commit a frame the protocol says to drop, when
+		// it is a same-generation gap frame (lost predecessor).
+		if exp := ls.rcvs[d].Expected(srcNode); f.seq > exp {
+			accept = true
+		}
+	}
+	maccept, mackNow, marmDelayed := ls.model.onData(d, f.gen, f.seq, f.req)
+	if accept {
+		ls.realDelivered[d] = append(ls.realDelivered[d], f)
+	}
+	if maccept {
+		ls.modelDelivered[d] = append(ls.modelDelivered[d], f)
+	}
+	if accept != maccept {
+		ls.fail(i, "delivery", "frame (gen %d, seq %d) to dst %d: implementation accept=%v, model accept=%v", f.gen, f.seq, d, accept, maccept)
+		return
+	}
+	if v.AckNow != mackNow || v.ArmDelayed != marmDelayed {
+		ls.fail(i, "verdict", "frame (gen %d, seq %d) to dst %d: implementation (ackNow=%v delayed=%v), model (ackNow=%v delayed=%v)",
+			f.gen, f.seq, d, v.AckNow, v.ArmDelayed, mackNow, marmDelayed)
+		return
+	}
+	if v.AckNow {
+		ls.emitAck(i, d, false)
+	}
+}
+
+// emitAck makes d's receiver emit its cumulative ack and — unless the ack
+// is lost on the reverse path — the sender consume it. The emitted value is
+// compared against the model before anything is freed: an ack that covers
+// uncommitted data is the divergence, wherever it would have landed.
+func (ls *lockstep) emitAck(i, d int, lost bool) {
+	gen, seq, ok := ls.rcvs[d].CumAck(srcNode)
+	if ok && ls.mut == MutAckEager {
+		seq++ // the bug: acknowledge one frame the host never saw
+	}
+	mgen, mseq, mok := ls.model.cumack(d)
+	if ok != mok || (ok && (gen != mgen || seq != mseq)) {
+		ls.fail(i, "ack-emission",
+			"dst %d emitted cumack (gen %d, seq %d, ok=%v), model says (gen %d, seq %d, ok=%v) — the ack covers data the receiver never committed",
+			d, gen, seq, ok, mgen, mseq, mok)
+		return
+	}
+	if !ok {
+		return
+	}
+	ls.rcvs[d].AckEmitted(srcNode)
+	ls.model.ackEmitted(d)
+	if lost {
+		return
+	}
+	freed := ls.s.OnAck(dstNode(d), gen, seq, ls.now)
+	mfreed := ls.model.onAck(d, mgen, mseq)
+	if len(freed) != mfreed {
+		ls.fail(i, "ack-free", "ack (gen %d, seq %d) freed %d entries in implementation, %d in model", gen, seq, len(freed), mfreed)
+	}
+}
+
+// tick fires the retransmission timer on both sides, compares the batches,
+// and puts retransmitted frames back on the wire. The last frame of each
+// burst requests an immediate ack so the sender resynchronizes — mirrored
+// identically on both sides, as the NIC does.
+func (ls *lockstep) tick(i int) {
+	batches := ls.s.Tick(ls.now)
+	mbatches := ls.model.tick(ls.now)
+	if len(batches) != len(mbatches) {
+		ls.fail(i, "timer", "implementation retransmitted %d destinations, model %d", len(batches), len(mbatches))
+		return
+	}
+	for bi, b := range batches {
+		mb := mbatches[bi]
+		if b.Dst != dstNode(mb.dst) || len(b.Entries) != len(mb.entries) {
+			ls.fail(i, "timer", "batch %d: implementation (dst %d, %d entries), model (dst %d, %d entries)",
+				bi, b.Dst, len(b.Entries), dstNode(mb.dst), len(mb.entries))
+			return
+		}
+		for ei, e := range b.Entries {
+			me := mb.entries[ei]
+			if e.Gen != me.gen || e.Seq != me.seq {
+				ls.fail(i, "timer", "batch %d entry %d: implementation (gen %d, seq %d), model (gen %d, seq %d)",
+					bi, ei, e.Gen, e.Seq, me.gen, me.seq)
+				return
+			}
+			req := proto.AckNone
+			if ei == len(b.Entries)-1 {
+				req = proto.AckImmediate
+			}
+			ls.wire[mb.dst] = append(ls.wire[mb.dst], wireFrame{gen: e.Gen, seq: e.Seq, req: req})
+		}
+	}
+}
+
+// reset performs a generation reset and immediately retransmits the
+// renumbered queue, recomputing each frame's ack-request level as the NIC
+// would when re-enqueueing.
+func (ls *lockstep) reset(i, d int) {
+	entries := ls.s.ResetGeneration(dstNode(d), ls.now)
+	mentries := ls.model.reset(d, ls.now)
+	if len(entries) != len(mentries) {
+		ls.fail(i, "reset", "implementation renumbered %d entries, model %d", len(entries), len(mentries))
+		return
+	}
+	free := ls.sc.QueueSize - ls.s.TotalUnacked()
+	for ei, e := range entries {
+		me := mentries[ei]
+		if e.Gen != me.gen || e.Seq != me.seq {
+			ls.fail(i, "reset", "entry %d: implementation (gen %d, seq %d), model (gen %d, seq %d)", ei, e.Gen, e.Seq, me.gen, me.seq)
+			return
+		}
+		lvl := ls.s.AckRequestFor(e, free)
+		mlvl := ls.model.ackLevel(d, free)
+		if lvl != mlvl {
+			ls.fail(i, "ack-request", "reset entry %d: implementation requested %v, model %v", ei, lvl, mlvl)
+			return
+		}
+		ls.s.OnTransmitted(e, ls.now)
+		ls.wire[d] = append(ls.wire[d], wireFrame{gen: e.Gen, seq: e.Seq, req: lvl})
+	}
+}
+
+func (ls *lockstep) unreachable(i, d int) {
+	dropped := ls.s.MarkUnreachable(dstNode(d))
+	mdropped := ls.model.markUnreachable(d)
+	if len(dropped) != mdropped {
+		ls.fail(i, "unreachable", "implementation dropped %d entries, model %d", len(dropped), mdropped)
+	}
+	if ls.s.Unreachable(dstNode(d)) != (ls.model.dests[d] != nil && ls.model.dests[d].unreachable) {
+		ls.fail(i, "unreachable", "unreachable flag disagrees for dst %d", d)
+	}
+}
+
+// drain closes the run: deliver everything, ack everything, tick, and
+// repeat — the protocol must reach a state with no unacknowledged entries
+// for any reachable destination (liveness), and the committed delivery
+// sequences must match frame for frame.
+func (ls *lockstep) drain() {
+	const rounds = 8
+	for r := 0; r < rounds && ls.div == nil; r++ {
+		for d := 0; d < ls.sc.Dests; d++ {
+			for len(ls.wire[d]) > 0 && ls.div == nil {
+				ls.deliver(-1, d)
+			}
+			if ls.div != nil {
+				return
+			}
+			ls.emitAck(-1, d, false)
+		}
+		ls.now = ls.now.Add(lockstepInterval)
+		ls.tick(-1)
+		if r == rounds/2-1 {
+			// Go-back-N alone cannot resynchronize a receiver whose
+			// expected sequence the sender no longer holds (e.g. packets
+			// dropped by an unreachable verdict, then the destination came
+			// back). The full system recovers via the permanent-failure
+			// detector: no ack progress → remap → generation reset. Model
+			// that here for any path still stuck mid-drain.
+			for d := 0; d < ls.sc.Dests; d++ {
+				if ls.s.Unacked(dstNode(d)) > 0 && !ls.s.Unreachable(dstNode(d)) {
+					ls.reset(-1, d)
+				}
+			}
+		}
+	}
+	if ls.div != nil {
+		return
+	}
+	for d := 0; d < ls.sc.Dests; d++ {
+		real, model := ls.s.Unacked(dstNode(d)), ls.model.unacked(d)
+		if real != model {
+			ls.fail(-1, "drain", "dst %d: %d unacked in implementation, %d in model", d, real, model)
+			return
+		}
+		if real != 0 && !ls.s.Unreachable(dstNode(d)) {
+			ls.fail(-1, "liveness", "dst %d still has %d unacked entries after %d drain rounds", d, real, rounds)
+			return
+		}
+		if len(ls.realDelivered[d]) != len(ls.modelDelivered[d]) {
+			ls.fail(-1, "delivery-set", "dst %d: implementation committed %d frames, model %d",
+				d, len(ls.realDelivered[d]), len(ls.modelDelivered[d]))
+			return
+		}
+		for fi, f := range ls.realDelivered[d] {
+			if mf := ls.modelDelivered[d][fi]; f.gen != mf.gen || f.seq != mf.seq {
+				ls.fail(-1, "ordering", "dst %d delivery %d: implementation (gen %d, seq %d), model (gen %d, seq %d)",
+					d, fi, f.gen, f.seq, mf.gen, mf.seq)
+				return
+			}
+		}
+	}
+}

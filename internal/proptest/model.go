@@ -1,0 +1,277 @@
+// Package proptest is the property-based simulation-testing harness: seed-
+// driven generators for protocol schedules, topologies, faults, and
+// workloads; a pure reference model of the retransmission protocol run in
+// lockstep against the real implementation; automatic shrinking of failures
+// to minimal repros; and corpus encoding for fuzzing and regression files.
+//
+// Everything derives from a single int64 seed, so any failure is a one-line
+// repro: `go run ./cmd/sanprop -replay <seed>`.
+package proptest
+
+import (
+	"time"
+
+	"sanft/internal/proto"
+	"sanft/internal/sim"
+)
+
+// The reference model below restates the protocol rules of internal/retrans
+// from the paper's specification (§4.1–4.2), independently of that package's
+// code: per-destination sequence generations, cumulative acks, go-back-N
+// retransmission, sender-based ack-request feedback, and drop-don't-buffer
+// reception. The lockstep harness drives both and reports any divergence.
+// The model deliberately stores only value types — no pointers into the real
+// implementation — so a divergence can never be masked by shared state.
+
+// refEntry is one unacknowledged packet in the model's retransmission queue.
+type refEntry struct {
+	gen      uint32
+	seq      uint64
+	lastSent sim.Time
+}
+
+// refDest is the model's per-destination send state.
+type refDest struct {
+	gen         uint32
+	nextSeq     uint64
+	queue       []refEntry
+	sinceAckReq int
+	unreachable bool
+}
+
+// refRecv is the model's per-source receive state: the paper's receivers
+// buffer nothing, so this is just (generation, next expected, ack owed).
+type refRecv struct {
+	gen      uint32
+	expected uint64
+	pending  bool
+}
+
+// refModel is the abstract protocol machine for one sender and its
+// destinations' receivers.
+type refModel struct {
+	queueSize   int
+	ackEveryDiv int
+	interval    time.Duration // retransmission timer period
+
+	dests map[int]*refDest
+	rcvs  map[int]*refRecv
+}
+
+func newRefModel(queueSize int, interval time.Duration) *refModel {
+	return &refModel{
+		queueSize:   queueSize,
+		ackEveryDiv: 4,
+		interval:    interval,
+		dests:       make(map[int]*refDest),
+		rcvs:        make(map[int]*refRecv),
+	}
+}
+
+func (m *refModel) dest(d int) *refDest {
+	ds := m.dests[d]
+	if ds == nil {
+		ds = &refDest{}
+		m.dests[d] = ds
+	}
+	return ds
+}
+
+func (m *refModel) recv(d int) *refRecv {
+	rs := m.rcvs[d]
+	if rs == nil {
+		rs = &refRecv{}
+		m.rcvs[d] = rs
+	}
+	return rs
+}
+
+// free returns the number of free send buffers: the queue is shared across
+// destinations and every queued entry holds one buffer.
+func (m *refModel) free() int {
+	used := 0
+	for _, ds := range m.dests {
+		used += len(ds.queue)
+	}
+	return m.queueSize - used
+}
+
+// prepare assigns the next (generation, sequence) for a packet to d and
+// queues it. Sending to a destination clears its unreachable label.
+func (m *refModel) prepare(d int, now sim.Time) (gen uint32, seq uint64) {
+	ds := m.dest(d)
+	ds.unreachable = false
+	gen, seq = ds.gen, ds.nextSeq
+	ds.nextSeq++
+	ds.queue = append(ds.queue, refEntry{gen: gen, seq: seq, lastSent: now})
+	return gen, seq
+}
+
+// ackLevel is the sender-based feedback rule (§4.1.2): nearly out of
+// buffers → immediate; moderate pressure → delayed; plenty → delayed every
+// K-th packet.
+func (m *refModel) ackLevel(d, freeBuffers int) proto.AckLevel {
+	ds := m.dest(d)
+	q := m.queueSize
+	switch {
+	case freeBuffers*4 <= q:
+		ds.sinceAckReq = 0
+		return proto.AckImmediate
+	case freeBuffers*4 <= 3*q:
+		ds.sinceAckReq = 0
+		return proto.AckDelayed
+	default:
+		ds.sinceAckReq++
+		k := q / m.ackEveryDiv
+		if k < 1 {
+			k = 1
+		}
+		if ds.sinceAckReq >= k {
+			ds.sinceAckReq = 0
+			return proto.AckDelayed
+		}
+		return proto.AckNone
+	}
+}
+
+// onData classifies a data frame arriving at d's receiver: in-order frames
+// are accepted, duplicates re-acknowledged immediately, gaps and stale
+// generations dropped without buffering (§4.1.1, §4.2).
+func (m *refModel) onData(d int, gen uint32, seq uint64, req proto.AckLevel) (accept, ackNow, armDelayed bool) {
+	rs := m.recv(d)
+	if gen < rs.gen {
+		return false, false, false
+	}
+	if gen > rs.gen {
+		rs.gen = gen
+		rs.expected = 0
+		rs.pending = false
+	}
+	switch {
+	case seq == rs.expected:
+		rs.expected++
+		rs.pending = true
+		return true, req == proto.AckImmediate, req == proto.AckDelayed
+	case seq < rs.expected:
+		rs.pending = true
+		return false, true, false
+	default:
+		return false, false, false
+	}
+}
+
+// cumack returns d's cumulative acknowledgment: every sequence ≤ seq of
+// generation gen has been committed. ok is false before anything has been
+// accepted in the current generation.
+func (m *refModel) cumack(d int) (gen uint32, seq uint64, ok bool) {
+	rs := m.rcvs[d]
+	if rs == nil || rs.expected == 0 {
+		return 0, 0, false
+	}
+	return rs.gen, rs.expected - 1, true
+}
+
+// ackEmitted clears the receiver's ack-owed flag.
+func (m *refModel) ackEmitted(d int) {
+	if rs := m.rcvs[d]; rs != nil {
+		rs.pending = false
+	}
+}
+
+// onAck frees every queued entry of the matching generation with sequence
+// ≤ ackSeq; stale-generation acks free nothing.
+func (m *refModel) onAck(d int, ackGen uint32, ackSeq uint64) (freed int) {
+	ds := m.dests[d]
+	if ds == nil || ackGen != ds.gen {
+		return 0
+	}
+	i := 0
+	for i < len(ds.queue) && ds.queue[i].seq <= ackSeq {
+		i++
+	}
+	ds.queue = ds.queue[i:]
+	return i
+}
+
+// refBatch is one go-back-N retransmission burst.
+type refBatch struct {
+	dst     int
+	entries []refEntry
+}
+
+// tick runs the periodic retransmission timer: any destination whose oldest
+// packet has waited at least one interval resends its whole queue in order.
+// Destinations fire in ascending ID order.
+func (m *refModel) tick(now sim.Time) []refBatch {
+	var out []refBatch
+	for _, d := range sortedKeys(m.dests) {
+		ds := m.dests[d]
+		if len(ds.queue) == 0 || ds.unreachable {
+			continue
+		}
+		if now.Sub(ds.queue[0].lastSent) < m.interval {
+			continue
+		}
+		entries := make([]refEntry, len(ds.queue))
+		for i := range ds.queue {
+			ds.queue[i].lastSent = now
+			entries[i] = ds.queue[i]
+		}
+		out = append(out, refBatch{dst: d, entries: entries})
+	}
+	return out
+}
+
+// reset starts a new generation for d after a remap (§4.2): queued packets
+// renumber from zero under the new generation. The returned entries carry
+// lastSent = now because the harness retransmits them immediately.
+func (m *refModel) reset(d int, now sim.Time) []refEntry {
+	ds := m.dest(d)
+	ds.gen++
+	ds.nextSeq = uint64(len(ds.queue))
+	ds.sinceAckReq = 0
+	ds.unreachable = false
+	for i := range ds.queue {
+		ds.queue[i].gen = ds.gen
+		ds.queue[i].seq = uint64(i)
+		ds.queue[i].lastSent = now
+	}
+	return append([]refEntry(nil), ds.queue...)
+}
+
+// markUnreachable drops every pending packet for d and labels it
+// unreachable. A destination never sent to has no state to label — the
+// model mirrors the implementation's early return there, including the
+// absent unreachable flag.
+func (m *refModel) markUnreachable(d int) (dropped int) {
+	ds := m.dests[d]
+	if ds == nil {
+		return 0
+	}
+	dropped = len(ds.queue)
+	ds.queue = nil
+	ds.unreachable = true
+	return dropped
+}
+
+// unacked returns the number of queued entries for d.
+func (m *refModel) unacked(d int) int {
+	if ds := m.dests[d]; ds != nil {
+		return len(ds.queue)
+	}
+	return 0
+}
+
+func sortedKeys[V any](m map[int]*V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Insertion sort: key sets here are tiny (a handful of destinations).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package proptest
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestLockstepExplore runs the differential checker over a swarm of random
+// schedules: the implementation must agree with the reference model on
+// every observable, and every schedule must drain.
+func TestLockstepExplore(t *testing.T) {
+	n := 500
+	if testing.Short() {
+		n = 300
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		if div := RunLockstep(GenOps(seed), MutNone); div != nil {
+			min := ShrinkOps(GenOps(seed), MutNone)
+			t.Fatalf("seed %d: %v\nshrunk repro:\n%s", seed, div, FormatOps(min, MutNone))
+		}
+	}
+}
+
+// TestLockstepDeterministic replays one schedule twice and demands the
+// identical outcome, divergence or not.
+func TestLockstepDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		sc := GenOps(seed)
+		a := RunLockstep(sc, MutNone)
+		b := RunLockstep(sc, MutNone)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two runs disagreed: %v vs %v", seed, a, b)
+		}
+	}
+}
+
+// TestGenDeterministic: same seed, same scenario — the whole repro story
+// rests on this.
+func TestGenDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		if a, b := GenOps(seed), GenOps(seed); !reflect.DeepEqual(a, b) {
+			t.Fatalf("GenOps(%d) not deterministic", seed)
+		}
+		if a, b := GenSim(seed), GenSim(seed); !reflect.DeepEqual(a, b) {
+			t.Fatalf("GenSim(%d) not deterministic", seed)
+		}
+	}
+}
+
+// TestInjectedAckBeforeCommitCaught proves the checker's teeth: a seeded
+// ack-before-commit bug must be detected and shrink to a tiny schedule.
+func TestInjectedAckBeforeCommitCaught(t *testing.T) {
+	sc := GenOps(1)
+	div := RunLockstep(sc, MutAckEager)
+	if div == nil {
+		t.Fatal("ack-before-commit mutation not detected on seed 1")
+	}
+	min := ShrinkOps(sc, MutAckEager)
+	if got := RunLockstep(min, MutAckEager); got == nil {
+		t.Fatal("shrunk scenario no longer fails")
+	} else if got.Kind != "ack-emission" {
+		t.Fatalf("shrunk divergence kind = %q, want ack-emission: %v", got.Kind, got)
+	}
+	if len(min.Ops) > 3 {
+		t.Fatalf("shrunk to %d ops, want ≤ 3:\n%s", len(min.Ops), FormatOps(min, MutAckEager))
+	}
+}
+
+// TestInjectedAcceptOOOCaught does the same for the FIFO-violation bug.
+func TestInjectedAcceptOOOCaught(t *testing.T) {
+	// A schedule guaranteed to create a gap frame: two sends, lose the
+	// first in transit, deliver the second.
+	sc := OpScenario{
+		QueueSize: 4, Dests: 1,
+		Ops: []Op{{OpSend, 0}, {OpSend, 0}, {OpDropWire, 0}},
+	}
+	div := RunLockstep(sc, MutAcceptOOO)
+	if div == nil {
+		t.Fatal("accept-out-of-order mutation not detected")
+	}
+	if div.Kind != "delivery" {
+		t.Fatalf("divergence kind = %q, want delivery: %v", div.Kind, div)
+	}
+	min := ShrinkOps(sc, MutAcceptOOO)
+	if len(min.Ops) > 3 {
+		t.Fatalf("shrunk to %d ops, want ≤ 3", len(min.Ops))
+	}
+}
+
+// TestShrinkSlice checks the delta-debugging minimizer on a known target.
+func TestShrinkSlice(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	// Failure requires both 3 and 7, in that order.
+	fails := func(s []int) bool {
+		i3 := -1
+		for i, v := range s {
+			if v == 3 {
+				i3 = i
+			}
+			if v == 7 && i3 >= 0 {
+				return true
+			}
+		}
+		return false
+	}
+	got := shrinkSlice(items, fails)
+	if !reflect.DeepEqual(got, []int{3, 7}) {
+		t.Fatalf("shrunk to %v, want [3 7]", got)
+	}
+	if one := shrinkSlice([]int{5}, func(s []int) bool { return true }); len(one) != 0 {
+		t.Fatalf("always-failing singleton shrunk to %v, want empty", one)
+	}
+}
+
+// TestCorpusRoundTrip: format → parse is the identity for both formats.
+func TestCorpusRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		sc := GenOps(seed)
+		got, mut, err := ParseOps(FormatOps(sc, MutAckEager))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if mut != MutAckEager || !reflect.DeepEqual(got, sc) {
+			t.Fatalf("seed %d: lockstep round trip mismatch:\n%+v\n%+v", seed, sc, got)
+		}
+		ss := GenSim(seed)
+		gotSim, err := ParseSim(FormatSim(ss))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(gotSim, ss) {
+			t.Fatalf("seed %d: sim round trip mismatch:\n%+v\n%+v", seed, ss, gotSim)
+		}
+	}
+}
+
+// TestOpsFromBytes: every byte string decodes to a runnable scenario.
+func TestOpsFromBytes(t *testing.T) {
+	inputs := [][]byte{nil, {0}, {255}, {0, 0}, {7, 3, 200, 13, 0, 255, 90}}
+	for _, in := range inputs {
+		sc := OpsFromBytes(in)
+		if sc.QueueSize < 1 || sc.Dests < 1 {
+			t.Fatalf("input %v: invalid scenario %+v", in, sc)
+		}
+		if div := RunLockstep(sc, MutNone); div != nil {
+			t.Fatalf("input %v: clean protocol diverged: %v", in, div)
+		}
+	}
+}
+
+// TestSimExplore runs full-simulator scenarios — random topology, faults,
+// workload — and requires every protocol property to hold. On failure it
+// shrinks and writes triage artifacts before reporting.
+func TestSimExplore(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 25
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		res := RunSim(GenSim(seed))
+		if res.Failed() {
+			min := ShrinkSim(res.Scenario)
+			dir := t.TempDir()
+			path, _ := WriteFailureArtifacts(dir, "failure", RunSim(min))
+			t.Fatalf("seed %d failed: %v\nshrunk repro (%s):\n%s",
+				seed, res.Violations, path, FormatSim(min))
+		}
+	}
+}
+
+// TestSimDeterministic replays one full scenario twice and compares every
+// observable byte for byte, via the shared helper the rest of the test
+// suite uses.
+func TestSimDeterministic(t *testing.T) {
+	RequireDeterministic(t, 7, SimDump)
+	if !testing.Short() {
+		RequireDeterministic(t, 23, SimDump)
+	}
+}
+
+// TestCorpusRegressions replays every committed corpus file. Lockstep files
+// carrying a mutation must still be caught; clean files and sim scenarios
+// must pass — they are pinned repros of bugs since fixed (or of checker
+// capabilities that must not rot).
+func TestCorpusRegressions(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "proptest")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("corpus dir: %v", err)
+	}
+	ran := 0
+	for _, ent := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case strings.HasSuffix(ent.Name(), ".ops"):
+			sc, mut, err := ParseOps(data)
+			if err != nil {
+				t.Fatalf("%s: %v", ent.Name(), err)
+			}
+			div := RunLockstep(sc, mut)
+			if mut != MutNone && div == nil {
+				t.Errorf("%s: mutation %v no longer caught", ent.Name(), mut)
+			}
+			if mut == MutNone && div != nil {
+				t.Errorf("%s: clean scenario diverges: %v", ent.Name(), div)
+			}
+			ran++
+		case strings.HasSuffix(ent.Name(), ".sim"):
+			sc, err := ParseSim(data)
+			if err != nil {
+				t.Fatalf("%s: %v", ent.Name(), err)
+			}
+			if res := RunSim(sc); res.Failed() {
+				t.Errorf("%s: regression scenario fails again: %v", ent.Name(), res.Violations)
+			}
+			ran++
+		}
+	}
+	if ran == 0 {
+		t.Fatal("no corpus files found")
+	}
+}
+
+// TestWriteFailureArtifacts exercises the triage-dump path on a passing
+// run (artifact writing must not depend on failure).
+func TestWriteFailureArtifacts(t *testing.T) {
+	res := RunSim(GenSim(3))
+	dir := t.TempDir()
+	path, err := WriteFailureArtifacts(dir, "case", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseSim(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc, res.Scenario) {
+		t.Fatal("artifact corpus file does not round trip")
+	}
+	for _, suffix := range []string{".txt", ".timeline", ".perfetto.json"} {
+		if _, err := os.Stat(filepath.Join(dir, "case"+suffix)); err != nil {
+			t.Fatalf("missing artifact %s: %v", suffix, err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package proptest
+
+// shrinkSlice minimizes items while fails(items) stays true, delta-debugging
+// style: remove progressively smaller chunks, restarting at coarse
+// granularity after any successful removal, down to single elements. fails
+// must be deterministic; the input is assumed to fail.
+func shrinkSlice[T any](items []T, fails func([]T) bool) []T {
+	cur := append([]T(nil), items...)
+	for chunk := (len(cur) + 1) / 2; chunk >= 1; {
+		removed := false
+		for start := 0; start+chunk <= len(cur); {
+			cand := make([]T, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			if fails(cand) {
+				cur = cand
+				removed = true
+				// Do not advance start: the next chunk slid into place.
+			} else {
+				start += chunk
+			}
+		}
+		if removed && chunk < (len(cur)+1)/2 {
+			chunk = (len(cur) + 1) / 2 // coarsen again after progress
+		} else {
+			chunk /= 2
+		}
+	}
+	return cur
+}
+
+// ShrinkOps minimizes a failing lockstep scenario: first the op schedule,
+// then the structural parameters (destination count, queue size). The
+// returned scenario still fails under the same mutation.
+func ShrinkOps(sc OpScenario, mut Mutation) OpScenario {
+	fails := func(cand OpScenario) bool { return RunLockstep(cand, mut) != nil }
+	sc.Ops = shrinkSlice(sc.Ops, func(ops []Op) bool {
+		cand := sc
+		cand.Ops = ops
+		return fails(cand)
+	})
+	for sc.Dests > 1 {
+		cand := sc
+		cand.Dests = sc.Dests - 1 // ops aimed at the removed dest become no-ops
+		if !fails(cand) {
+			break
+		}
+		sc = cand
+	}
+	for _, q := range []int{1, 2, 4, 8} {
+		if q >= sc.QueueSize {
+			break
+		}
+		cand := sc
+		cand.QueueSize = q
+		if fails(cand) {
+			sc = cand
+			break
+		}
+	}
+	return sc
+}
+
+// ShrinkSim minimizes a failing simulator scenario: the fault schedule
+// first, then the workload dimensions. Each probe is a full simulation run,
+// so the workload reductions are linear scans over small ranges.
+func ShrinkSim(sc SimScenario) SimScenario {
+	fails := func(cand SimScenario) bool { return RunSim(cand).Failed() }
+	sc.Faults = shrinkSlice(sc.Faults, func(fs []FaultEvent) bool {
+		cand := sc
+		cand.Faults = fs
+		return fails(cand)
+	})
+	for sc.Pairs > 1 {
+		cand := sc
+		cand.Pairs = sc.Pairs - 1
+		if !fails(cand) {
+			break
+		}
+		sc = cand
+	}
+	for sc.Msgs > 1 {
+		cand := sc
+		cand.Msgs = sc.Msgs - 1
+		if !fails(cand) {
+			break
+		}
+		sc = cand
+	}
+	return sc
+}

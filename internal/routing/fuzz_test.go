@@ -1,0 +1,80 @@
+package routing
+
+import (
+	"testing"
+)
+
+func TestParseRoute(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Route
+		ok   bool
+	}{
+		{"-", Route{}, true},
+		{"0", Route{0}, true},
+		{"3.0.7", Route{3, 0, 7}, true},
+		{"255", Route{255}, true},
+		{" 3.1 ", Route{3, 1}, true}, // outer whitespace trimmed
+		{"", nil, false},
+		{"256", nil, false},
+		{"-1", nil, false},
+		{"3..7", nil, false},
+		{"03", nil, false},
+		{"+3", nil, false},
+		{"3,7", nil, false},
+		{"a", nil, false},
+		{"3.x", nil, false},
+	}
+	for _, c := range cases {
+		got, err := ParseRoute(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseRoute(%q): err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && !got.Equal(c.want) {
+			t.Errorf("ParseRoute(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCompactRoundTrip(t *testing.T) {
+	for _, r := range []Route{{}, {0}, {1, 2, 3}, {255, 0, 255}} {
+		got, err := ParseRoute(r.Compact())
+		if err != nil {
+			t.Fatalf("route %v: %v", r, err)
+		}
+		if !got.Equal(r) {
+			t.Fatalf("route %v round-tripped to %v", r, got)
+		}
+	}
+}
+
+// FuzzRouteParse: the parser must never panic, and any accepted input must
+// re-render and re-parse to the same route (canonical form is a fixpoint).
+func FuzzRouteParse(f *testing.F) {
+	for _, s := range []string{"-", "0", "3.0.7", "255.255", "03", "+1", "1..2", "a.b", ""} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := ParseRoute(s)
+		if err != nil {
+			return
+		}
+		if len(r) > MaxHops {
+			t.Fatalf("accepted %d hops from %q, max %d", len(r), s, MaxHops)
+		}
+		for i, p := range r {
+			if p < 0 || p > MaxPort {
+				t.Fatalf("accepted out-of-range port %d at %d from %q", p, i, s)
+			}
+		}
+		c := r.Compact()
+		r2, err := ParseRoute(c)
+		if err != nil {
+			t.Fatalf("compact form %q of accepted %q does not re-parse: %v", c, s, err)
+		}
+		if !r2.Equal(r) {
+			t.Fatalf("%q -> %v -> %q -> %v: not a fixpoint", s, r, c, r2)
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package routing
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MaxHops bounds a parsed route's length: a source route longer than any
+// sane diameter is malformed input, not a network.
+const MaxHops = 64
+
+// MaxPort bounds a parsed port number (switch radix is a hardware byte).
+const MaxPort = 255
+
+// Compact renders the route in its canonical textual form: port numbers
+// joined by dots ("3.0.7"); the empty route renders as "-". ParseRoute
+// inverts it.
+func (r Route) Compact() string {
+	if len(r) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(r))
+	for i, p := range r {
+		parts[i] = strconv.Itoa(p)
+	}
+	return strings.Join(parts, ".")
+}
+
+// ParseRoute parses the compact textual route form produced by Compact:
+// dot-separated decimal port numbers, or "-" for the empty route. Port
+// numbers must fit a switch port byte (0..MaxPort) and routes are limited
+// to MaxHops hops. Used by tools that accept routes on the command line
+// and corpus files that pin them.
+func ParseRoute(s string) (Route, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("routing: empty route string (use %q for the empty route)", "-")
+	}
+	if s == "-" {
+		return Route{}, nil
+	}
+	parts := strings.Split(s, ".")
+	if len(parts) > MaxHops {
+		return nil, fmt.Errorf("routing: route has %d hops, max %d", len(parts), MaxHops)
+	}
+	r := make(Route, 0, len(parts))
+	for i, part := range parts {
+		if part == "" {
+			return nil, fmt.Errorf("routing: empty hop at position %d in %q", i, s)
+		}
+		// Reject non-canonical spellings ("+3", "03", " 3") so that
+		// parse∘compact is the identity on accepted inputs.
+		if part[0] == '+' || (len(part) > 1 && part[0] == '0') {
+			return nil, fmt.Errorf("routing: non-canonical port %q at position %d", part, i)
+		}
+		p, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("routing: bad port %q at position %d: %w", part, i, err)
+		}
+		if p < 0 || p > MaxPort {
+			return nil, fmt.Errorf("routing: port %d at position %d out of range [0, %d]", p, i, MaxPort)
+		}
+		r = append(r, p)
+	}
+	return r, nil
+}

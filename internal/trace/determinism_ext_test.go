@@ -1,0 +1,41 @@
+package trace_test
+
+// Wires the shared proptest determinism contract into the trace layer:
+// the flight-recorder event stream and both exporters (timeline text and
+// Chrome/Perfetto JSON) must be byte-identical across same-seed runs of a
+// generated simulator scenario. This is what makes a committed .timeline
+// or .perfetto.json artifact trustworthy as a regression baseline.
+
+import (
+	"bytes"
+	"testing"
+
+	"sanft/internal/proptest"
+	"sanft/internal/trace"
+)
+
+func traceDump(seed int64) []byte {
+	res := proptest.RunSim(proptest.GenSim(seed))
+	var b bytes.Buffer
+	if res.Recorder == nil {
+		return b.Bytes()
+	}
+	events := res.Recorder.Ring().Events()
+	if err := trace.WriteTimeline(&b, events); err != nil {
+		b.WriteString("timeline error: " + err.Error() + "\n")
+	}
+	if err := trace.WriteChromeTrace(&b, events); err != nil {
+		b.WriteString("chrome trace error: " + err.Error() + "\n")
+	}
+	return b.Bytes()
+}
+
+func TestTraceExportsDeterministic(t *testing.T) {
+	seeds := []int64{3, 11, 27}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		proptest.RequireDeterministic(t, seed, traceDump)
+	}
+}

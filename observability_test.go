@@ -10,6 +10,7 @@ import (
 	"sanft"
 	"sanft/internal/chaos"
 	"sanft/internal/core"
+	"sanft/internal/proptest"
 )
 
 // workloadDump builds a lossy star with periodic sampling, drives an
@@ -84,16 +85,11 @@ func campaignDump(t *testing.T, seed int64) []byte {
 
 // TestMetricsDumpDeterministic is the contract of the observability
 // layer: identical seeds produce byte-identical JSONL dumps, for a plain
-// workload and under a chaos campaign alike.
+// workload and under a chaos campaign alike. The shared proptest helper
+// reports the first diverging line instead of just "they differ".
 func TestMetricsDumpDeterministic(t *testing.T) {
-	if a, b := workloadDump(t, 42), workloadDump(t, 42); !bytes.Equal(a, b) {
-		t.Errorf("workload dumps differ across runs with the same seed (%d vs %d bytes)",
-			len(a), len(b))
-	}
-	if a, b := campaignDump(t, 42), campaignDump(t, 42); !bytes.Equal(a, b) {
-		t.Errorf("campaign dumps differ across runs with the same seed (%d vs %d bytes)",
-			len(a), len(b))
-	}
+	proptest.RequireDeterministic(t, 42, func(seed int64) []byte { return workloadDump(t, seed) })
+	proptest.RequireDeterministic(t, 42, func(seed int64) []byte { return campaignDump(t, seed) })
 }
 
 // TestMetricsDumpCoverage asserts the dump spans every instrumented
