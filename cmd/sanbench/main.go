@@ -12,6 +12,7 @@
 //	sanbench -fig all          # everything
 //	sanbench -ablations        # piggyback + feedback-policy ablations
 //	sanbench -full             # paper-scale traffic (slow)
+//	sanbench -parallel         # parallel-engine scaling curve -> BENCH_parallel.json
 package main
 
 import (
@@ -29,9 +30,16 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale traffic (≥10 drops even at 1e-4; slow)")
 	ablations := flag.Bool("ablations", false, "run the protocol ablations instead of figures")
 	extensions := flag.Bool("extensions", false, "run the extension experiments (route quality, burst errors, state scaling, VI reliability levels)")
+	parallel := flag.Bool("parallel", false, "measure parallel engine + campaign pool scaling at 1/2/4/8 workers")
+	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "output path for the -parallel scaling report")
 	asJSON := flag.Bool("json", false, "emit extension reports as JSON (with -extensions)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
+
+	if *parallel {
+		runParallelBench(*seed, *parallelOut)
+		return
+	}
 
 	opt := sanft.Options{Seed: *seed}
 	if *full {

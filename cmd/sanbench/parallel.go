@@ -1,0 +1,254 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sanft"
+	"sanft/internal/chaos"
+	"sanft/internal/core"
+	"sanft/internal/parsim"
+	"sanft/internal/proptest"
+	"sanft/internal/retrans"
+	"sanft/internal/topology"
+)
+
+// parallelReport is the BENCH_parallel.json schema: the scaling curve of
+// the parallel simulation engine and campaign pool at 1/2/4/8 workers.
+// Cores and GoMaxProcs record the machine the numbers came from — a
+// speedup is bounded by the physical core count, so a single-core
+// baseline legitimately shows ~1.0 at every worker count.
+type parallelReport struct {
+	Name       string        `json:"name"`
+	Generated  string        `json:"generated_by"`
+	Cores      int           `json:"cores"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Note       string        `json:"note"`
+	Engine     []engineRow   `json:"engine_scaling"`
+	Campaign   []campaignRow `json:"campaign_scaling"`
+	Proptest   []proptestRow `json:"proptest_scaling"`
+}
+
+type engineRow struct {
+	Workers      int     `json:"workers"`
+	WallMS       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup"`
+}
+
+type campaignRow struct {
+	Workers   int     `json:"workers"`
+	Replicas  int     `json:"replicas"`
+	WallMS    float64 `json:"wall_ms"`
+	Delivered int     `json:"delivered"`
+	Speedup   float64 `json:"speedup"`
+}
+
+type proptestRow struct {
+	Workers int     `json:"workers"`
+	Cases   int     `json:"cases"`
+	WallMS  float64 `json:"wall_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
+var workerCounts = []int{1, 2, 4, 8}
+
+// runParallelBench measures the three parallel paths and writes the
+// scaling report to out.
+func runParallelBench(seed int64, out string) {
+	rep := parallelReport{
+		Name:       "parallel-scaling",
+		Generated:  "sanbench -parallel",
+		Cores:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: "engine_scaling: sharded 16-host star, per-host shards, conservative epochs; " +
+			"campaign_scaling: 8 replicas of a 16-host link-flap chaos campaign through the worker pool; " +
+			"proptest_scaling: 1000 lockstep differential cases through the pool. " +
+			"All outputs are byte-identical across worker counts; speedup is bounded by 'cores'.",
+	}
+
+	fmt.Println("parallel scaling benchmark")
+	fmt.Printf("  machine: %d core(s), GOMAXPROCS %d\n", rep.Cores, rep.GoMaxProcs)
+
+	rep.Engine = benchEngine(seed)
+	rep.Campaign = benchCampaign(seed)
+	rep.Proptest = benchProptest(seed)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sanbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sanbench: write %s: %v\n", out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("  wrote %s\n", out)
+}
+
+// benchEngine times the sharded engine itself: one 16-host star, ring
+// plus cross-cutting flows, fixed horizon — only the worker count varies.
+func benchEngine(seed int64) []engineRow {
+	const hosts = 16
+	run := func(w int) (time.Duration, uint64) {
+		s := sanft.NewSharded(
+			sanft.WithStar(hosts),
+			sanft.WithSeed(seed),
+			sanft.WithFaultTolerance(sanft.RetransConfig{QueueSize: 16, Interval: time.Millisecond}),
+			sanft.WithShards(w),
+		)
+		var flows []sanft.Flow
+		for i := 0; i < hosts; i++ {
+			flows = append(flows,
+				sanft.Flow{Src: s.Hosts[i], Dst: s.Hosts[(i+1)%hosts]},
+				sanft.Flow{Src: s.Hosts[i], Dst: s.Hosts[(i+5)%hosts]},
+			)
+		}
+		s.StartFlows(flows, 20, 1024, 100*time.Microsecond)
+		start := time.Now()
+		s.RunFor(60 * time.Millisecond)
+		wall := time.Since(start)
+		ev := s.TotalExecuted()
+		s.Stop()
+		return wall, ev
+	}
+
+	var rows []engineRow
+	var base time.Duration
+	for _, w := range workerCounts {
+		wall, ev := run(w)
+		if w == 1 {
+			base = wall
+		}
+		rows = append(rows, engineRow{
+			Workers:      w,
+			WallMS:       roundMS(wall),
+			Events:       ev,
+			EventsPerSec: float64(ev) / wall.Seconds(),
+			Speedup:      speedup(base, wall),
+		})
+		fmt.Printf("  engine   workers=%d  %8.1f ms  %9d events  %12.0f ev/s  speedup %.2f\n",
+			w, roundMS(wall), ev, float64(ev)/wall.Seconds(), speedup(base, wall))
+	}
+	return rows
+}
+
+// benchCampaign times the campaign pool: 8 independent replicas (seeds
+// seed..seed+7) of a 16-host link-flap chaos campaign, executed through
+// parsim.Pool at each worker count.
+func benchCampaign(seed int64) []campaignRow {
+	const replicas = 8
+	run := func(w int) (time.Duration, int) {
+		start := time.Now()
+		delivered := parsim.Map(parsim.Pool{Workers: w}, replicas, func(i int) int {
+			return run16HostCampaign(seed + int64(i))
+		})
+		wall := time.Since(start)
+		total := 0
+		for _, d := range delivered {
+			total += d
+		}
+		return wall, total
+	}
+
+	var rows []campaignRow
+	var base time.Duration
+	for _, w := range workerCounts {
+		wall, total := run(w)
+		if w == 1 {
+			base = wall
+		}
+		rows = append(rows, campaignRow{
+			Workers:   w,
+			Replicas:  replicas,
+			WallMS:    roundMS(wall),
+			Delivered: total,
+			Speedup:   speedup(base, wall),
+		})
+		fmt.Printf("  campaign workers=%d  %8.1f ms  %6d delivered           speedup %.2f\n",
+			w, roundMS(wall), total, speedup(base, wall))
+	}
+	return rows
+}
+
+// run16HostCampaign is one replica of the campaign benchmark: a 16-host
+// redundant 4-switch chain under a trunk-flap storm with ring traffic,
+// fault tolerance and on-demand mapping enabled. Returns distinct
+// messages delivered (a determinism cross-check across worker counts).
+func run16HostCampaign(seed int64) int {
+	nw, rows := topology.Chain(4, 4, 2)
+	var hosts []topology.NodeID
+	for _, row := range rows {
+		hosts = append(hosts, row...)
+	}
+	c := core.New(core.Config{
+		Net: nw, Hosts: hosts, FT: true,
+		Retrans: retrans.Config{
+			QueueSize:         16,
+			Interval:          time.Millisecond,
+			PermFailThreshold: 8 * time.Millisecond,
+		},
+		Mapper: true,
+		Seed:   seed,
+	})
+	e := chaos.NewEngine(c, seed)
+	var pairs []chaos.Pair
+	for i := range hosts {
+		pairs = append(pairs,
+			chaos.Pair{Src: hosts[i], Dst: hosts[(i+1)%len(hosts)]},
+			chaos.Pair{Src: hosts[i], Dst: hosts[(i+7)%len(hosts)]},
+		)
+	}
+	r := chaos.Workload{Pairs: pairs, Msgs: 12, Gap: 2 * time.Millisecond}.Start(e)
+	e.Install(chaos.LinkFlap{Start: time.Millisecond, Cycles: 8})
+	c.RunFor(120 * time.Millisecond)
+	c.Stop()
+	return r.Delivered()
+}
+
+// benchProptest times the property-testing pool: 1000 lockstep
+// differential cases per worker count.
+func benchProptest(seed int64) []proptestRow {
+	const cases = 1000
+	run := func(w int) time.Duration {
+		start := time.Now()
+		parsim.Map(parsim.Pool{Workers: w}, cases, func(i int) bool {
+			return proptest.RunLockstep(proptest.GenOps(seed+int64(i)), proptest.MutNone) != nil
+		})
+		return time.Since(start)
+	}
+
+	var rows []proptestRow
+	var base time.Duration
+	for _, w := range workerCounts {
+		wall := run(w)
+		if w == 1 {
+			base = wall
+		}
+		rows = append(rows, proptestRow{
+			Workers: w,
+			Cases:   cases,
+			WallMS:  roundMS(wall),
+			Speedup: speedup(base, wall),
+		})
+		fmt.Printf("  proptest workers=%d  %8.1f ms  %6d cases               speedup %.2f\n",
+			w, roundMS(wall), cases, speedup(base, wall))
+	}
+	return rows
+}
+
+func roundMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+func speedup(base, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(base) / float64(d)
+}

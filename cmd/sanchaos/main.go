@@ -14,7 +14,14 @@
 //	sanchaos                          # run every campaign
 //	sanchaos -campaign partition-heal # run one campaign
 //	sanchaos -seed 42 -events         # different schedule, print event log
+//	sanchaos -reps 16 -workers 4      # 16 seeds per campaign, 4 OS threads
 //	sanchaos -list                    # list campaigns
+//
+// -reps runs each campaign under reps consecutive seeds (seed..seed+reps-1);
+// -workers drives the (campaign, seed) grid through the parallel campaign
+// pool (internal/parsim). Every replica is an independent deterministic
+// simulation; reports are gathered by grid index and printed in campaign,
+// then seed, order — identical output for any worker count.
 //
 // Exit status is nonzero if any campaign violates an invariant.
 package main
@@ -23,10 +30,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"sanft/internal/chaos"
 	"sanft/internal/core"
+	"sanft/internal/parsim"
 	"sanft/internal/report"
 	"sanft/internal/trace"
 )
@@ -34,6 +43,8 @@ import (
 func main() {
 	campaign := flag.String("campaign", "all", "campaign name, or \"all\"")
 	seed := flag.Int64("seed", 1, "campaign seed (drives fault schedule and traffic)")
+	reps := flag.Int("reps", 1, "replicas per campaign: seeds seed..seed+reps-1")
+	workers := flag.Int("workers", 1, "campaign pool workers (0 = GOMAXPROCS)")
 	events := flag.Bool("events", false, "print the full event log per campaign")
 	asJSON := flag.Bool("json", false, "emit one JSON object per campaign instead of text")
 	list := flag.Bool("list", false, "list available campaigns and exit")
@@ -45,6 +56,12 @@ func main() {
 			fmt.Printf("%-16s %s\n", c.Name, c.About)
 		}
 		return
+	}
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *reps < 1 {
+		*reps = 1
 	}
 
 	var todo []chaos.Campaign
@@ -59,12 +76,29 @@ func main() {
 		todo = []chaos.Campaign{c}
 	}
 
-	start := time.Now()
-	failed := 0
+	// The (campaign, seed) grid, in output order. The pool may execute it
+	// in any order; reports are gathered by index so printing below is
+	// deterministic.
+	type job struct {
+		c    chaos.Campaign
+		seed int64
+	}
+	var jobs []job
 	for _, c := range todo {
-		rep := c.RunInstrumented(*seed, func(cl *core.Cluster) {
+		for r := 0; r < *reps; r++ {
+			jobs = append(jobs, job{c, *seed + int64(r)})
+		}
+	}
+
+	start := time.Now()
+	reports := parsim.Map(parsim.Pool{Workers: *workers}, len(jobs), func(i int) *chaos.Report {
+		return jobs[i].c.RunInstrumented(jobs[i].seed, func(cl *core.Cluster) {
 			cl.InstallTracer(trace.NewFlightRecorder(8192))
 		})
+	})
+
+	failed := 0
+	for _, rep := range reports {
 		if err := report.Write(os.Stdout, rep, *asJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -85,8 +119,8 @@ func main() {
 		}
 	}
 	if !*asJSON {
-		fmt.Printf("%d/%d campaigns passed (%v wall time)\n",
-			len(todo)-failed, len(todo), time.Since(start).Round(time.Millisecond))
+		fmt.Printf("%d/%d campaign runs passed (%d workers, %v wall time)\n",
+			len(jobs)-failed, len(jobs), *workers, time.Since(start).Round(time.Millisecond))
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -10,46 +10,70 @@
 //
 //	sanprop                                # 1000 lockstep + 1000 sim cases
 //	sanprop -n 10000 -mode lockstep        # longer, one mode
+//	sanprop -n 10000 -workers 8            # same campaign, 8 OS threads
+//	sanprop -mode parallel -n 500          # differential: pool vs sequential
 //	sanprop -seed 5000                     # different seed range
 //	sanprop -mutation ack-eager            # demo: run with a bug injected
 //	sanprop -replay testdata/proptest/ack-before-commit.ops
 //	sanprop -replay 42 -mode sim           # replay one generated seed
 //
+// -workers runs the case loop through the parallel campaign pool
+// (internal/parsim): each case is an independent deterministic
+// simulation, results are gathered by case index, and failing seeds are
+// shrunk in a sequential post-pass — so the report and every artifact
+// are identical for any worker count.
+//
+// -mode parallel is the differential self-check: it runs the same seed
+// range once sequentially and once through the pool and byte-compares
+// the per-case outcome digests, reporting both wall-clock times.
+//
 // Exit status is nonzero if any case fails.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"sanft/internal/parsim"
 	"sanft/internal/proptest"
 	"sanft/internal/report"
 )
 
 func main() {
 	n := flag.Int("n", 1000, "cases to run per mode")
-	mode := flag.String("mode", "both", "lockstep, sim, or both")
+	mode := flag.String("mode", "both", "lockstep, sim, both, or parallel (differential pool-vs-sequential check)")
 	seed := flag.Int64("seed", 1, "first seed; cases use seed..seed+n-1")
+	workers := flag.Int("workers", 1, "campaign pool workers (0 = GOMAXPROCS)")
 	mutName := flag.String("mutation", "none", "inject a known bug into the lockstep harness (none, ack-eager, accept-ooo)")
 	artifacts := flag.String("artifacts", "sanprop-failures", "directory for shrunk failure reproducers")
 	replay := flag.String("replay", "", "replay a corpus file (.ops/.sim) or a single integer seed, then exit")
 	asJSON := flag.Bool("json", false, "emit the final report as JSON")
 	flag.Parse()
 
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+
 	mut, err := parseMutationFlag(*mutName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sanprop: %v\n", err)
 		os.Exit(2)
 	}
+	if *mode == "parallel" {
+		os.Exit(parallelDifferential(*seed, *n, *workers, mut, *asJSON))
+	}
 	runLockstep := *mode == "lockstep" || *mode == "both"
 	runSim := *mode == "sim" || *mode == "both"
 	if !runLockstep && !runSim {
-		fmt.Fprintf(os.Stderr, "sanprop: unknown mode %q (want lockstep, sim, or both)\n", *mode)
+		fmt.Fprintf(os.Stderr, "sanprop: unknown mode %q (want lockstep, sim, both, or parallel)\n", *mode)
 		os.Exit(2)
 	}
 
@@ -60,10 +84,10 @@ func main() {
 	var failures int
 	var rows [][]string
 	if runLockstep {
-		rows = append(rows, lockstepCampaign(*seed, *n, mut, *artifacts, &failures))
+		rows = append(rows, lockstepCampaign(*seed, *n, mut, *artifacts, &failures, *workers))
 	}
 	if runSim {
-		rows = append(rows, simCampaign(*seed, *n, *artifacts, &failures))
+		rows = append(rows, simCampaign(*seed, *n, *artifacts, &failures, *workers))
 	}
 
 	tbl := report.Table{
@@ -94,19 +118,27 @@ func parseMutationFlag(s string) (proptest.Mutation, error) {
 	return proptest.MutNone, fmt.Errorf("unknown mutation %q", s)
 }
 
-// lockstepCampaign runs n lockstep cases and returns a report row.
-func lockstepCampaign(seed int64, n int, mut proptest.Mutation, dir string, failures *int) []string {
+// lockstepCampaign runs n lockstep cases (through the pool when
+// workers > 1) and returns a report row. The fast pass only records
+// which seeds failed; shrinking and artifact writing happen in a
+// sequential post-pass so output is identical for any worker count.
+func lockstepCampaign(seed int64, n int, mut proptest.Mutation, dir string, failures *int, workers int) []string {
 	start := time.Now()
+	var done atomic.Int64
+	failedCase := parsim.Map(parsim.Pool{Workers: workers}, n, func(i int) bool {
+		div := proptest.RunLockstep(proptest.GenOps(seed+int64(i)), mut)
+		progress("lockstep", int(done.Add(1)), n)
+		return div != nil
+	})
 	failed := 0
-	for i := 0; i < n; i++ {
-		s := seed + int64(i)
-		sc := proptest.GenOps(s)
-		div := proptest.RunLockstep(sc, mut)
-		if div == nil {
-			progress("lockstep", i+1, n)
+	for i, bad := range failedCase {
+		if !bad {
 			continue
 		}
 		failed++
+		s := seed + int64(i)
+		sc := proptest.GenOps(s)
+		div := proptest.RunLockstep(sc, mut)
 		min := proptest.ShrinkOps(sc, mut)
 		minDiv := proptest.RunLockstep(min, mut)
 		if minDiv == nil {
@@ -126,19 +158,26 @@ func lockstepCampaign(seed int64, n int, mut proptest.Mutation, dir string, fail
 	return []string{"lockstep", strconv.Itoa(n), strconv.Itoa(failed), time.Since(start).Round(time.Millisecond).String()}
 }
 
-// simCampaign runs n whole-simulator cases and returns a report row.
-func simCampaign(seed int64, n int, dir string, failures *int) []string {
+// simCampaign runs n whole-simulator cases (through the pool when
+// workers > 1) and returns a report row. Shrinking is a sequential
+// post-pass, as in lockstepCampaign.
+func simCampaign(seed int64, n int, dir string, failures *int, workers int) []string {
 	start := time.Now()
+	var done atomic.Int64
+	failedCase := parsim.Map(parsim.Pool{Workers: workers}, n, func(i int) bool {
+		res := proptest.RunSim(proptest.GenSim(seed + int64(i)))
+		progress("sim", int(done.Add(1)), n)
+		return res.Failed()
+	})
 	failed := 0
-	for i := 0; i < n; i++ {
-		s := seed + int64(i)
-		sc := proptest.GenSim(s)
-		res := proptest.RunSim(sc)
-		if !res.Failed() {
-			progress("sim", i+1, n)
+	for i, bad := range failedCase {
+		if !bad {
 			continue
 		}
 		failed++
+		s := seed + int64(i)
+		sc := proptest.GenSim(s)
+		res := proptest.RunSim(sc)
 		min := proptest.ShrinkSim(sc)
 		minRes := proptest.RunSim(min)
 		if !minRes.Failed() {
@@ -153,6 +192,75 @@ func simCampaign(seed int64, n int, dir string, failures *int) []string {
 	}
 	*failures += failed
 	return []string{"sim", strconv.Itoa(n), strconv.Itoa(failed), time.Since(start).Round(time.Millisecond).String()}
+}
+
+// parallelDifferential runs the same seed range once sequentially and
+// once through the campaign pool, byte-compares the per-case outcome
+// digests, and reports both wall-clock times. A digest mismatch means
+// the pool changed simulation results — the one thing it must never do.
+func parallelDifferential(seed int64, n, workers int, mut proptest.Mutation, asJSON bool) int {
+	if workers <= 1 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers < 2 {
+			workers = 2
+		}
+	}
+	digest := func(w int) ([]byte, time.Duration) {
+		start := time.Now()
+		lines := parsim.Map(parsim.Pool{Workers: w}, n, func(i int) string {
+			s := seed + int64(i)
+			var b strings.Builder
+			if div := proptest.RunLockstep(proptest.GenOps(s), mut); div != nil {
+				fmt.Fprintf(&b, "seed %d lockstep FAIL: %v\n", s, div)
+			} else {
+				fmt.Fprintf(&b, "seed %d lockstep ok\n", s)
+			}
+			res := proptest.RunSim(proptest.GenSim(s))
+			fmt.Fprintf(&b, "seed %d sim failed=%v delivered=%d\n", s, res.Failed(), res.Delivered)
+			return b.String()
+		})
+		return []byte(strings.Join(lines, "")), time.Since(start)
+	}
+	seq, seqD := digest(1)
+	par, parD := digest(workers)
+
+	match := bytes.Equal(seq, par)
+	tbl := report.Table{
+		Name:   "sanprop parallel differential",
+		Header: []string{"run", "workers", "cases", "elapsed", "digest"},
+		Cells: [][]string{
+			{"sequential", "1", strconv.Itoa(n), seqD.Round(time.Millisecond).String(), fmt.Sprintf("%d bytes", len(seq))},
+			{"pool", strconv.Itoa(workers), strconv.Itoa(n), parD.Round(time.Millisecond).String(), matchWord(match)},
+		},
+	}
+	if asJSON {
+		if err := tbl.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "sanprop: %v\n", err)
+			return 2
+		}
+	} else {
+		fmt.Print(tbl.String())
+	}
+	if !match {
+		la, lb := bytes.Split(seq, []byte("\n")), bytes.Split(par, []byte("\n"))
+		for i := 0; i < len(la) && i < len(lb); i++ {
+			if !bytes.Equal(la[i], lb[i]) {
+				fmt.Fprintf(os.Stderr, "sanprop: digest diverges at line %d:\n  seq: %s\n  par: %s\n",
+					i+1, la[i], lb[i])
+				break
+			}
+		}
+		fmt.Fprintln(os.Stderr, "sanprop: PARALLEL DIGEST MISMATCH — pool execution changed simulation results")
+		return 1
+	}
+	return 0
+}
+
+func matchWord(ok bool) string {
+	if ok {
+		return "identical"
+	}
+	return "MISMATCH"
 }
 
 // progress prints a heartbeat to stderr every 10% of a campaign.

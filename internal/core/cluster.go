@@ -70,6 +70,13 @@ type Config struct {
 
 	// Seed drives all deterministic randomness.
 	Seed int64
+
+	// Shards is the worker count for sharded parallel execution
+	// (NewSharded): how many OS threads drive the per-host shard kernels.
+	// The logical partition is always one shard per host, so any value —
+	// including the default 0 (= GOMAXPROCS) — produces byte-identical
+	// results; Shards only changes wall-clock time. Ignored by New.
+	Shards int
 }
 
 // Cluster is a fully wired simulation instance.

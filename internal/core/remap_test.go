@@ -9,17 +9,6 @@ import (
 	"sanft/internal/topology"
 )
 
-// trunkLinks returns the switch-to-switch links of nw.
-func trunkLinks(nw *topology.Network) []*topology.Link {
-	var out []*topology.Link
-	for _, l := range nw.Links {
-		if nw.Node(l.A.Node).Kind == topology.Switch && nw.Node(l.B.Node).Kind == topology.Switch {
-			out = append(out, l)
-		}
-	}
-	return out
-}
-
 // TestFlappingLinkRemapsCoalesced flaps the only trunk of a two-switch
 // chain a hundred times while both hosts keep demanding each other.
 // Without the remap manager every stale-path upcall would start its own

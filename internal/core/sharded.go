@@ -1,0 +1,411 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"sanft/internal/fabric"
+	"sanft/internal/fault"
+	"sanft/internal/metrics"
+	"sanft/internal/nic"
+	"sanft/internal/parsim"
+	"sanft/internal/proto"
+	"sanft/internal/routing"
+	"sanft/internal/sim"
+	"sanft/internal/topology"
+	"sanft/internal/trace"
+)
+
+// shardTraceCap bounds each shard's trace ring. Rings are per shard, so
+// overflow (oldest-event eviction) is a per-shard property, identical for
+// every worker count.
+const shardTraceCap = 8192
+
+// cell is one shard of a sharded cluster: a host, its NIC, a private
+// kernel, and private replicas of everything the host's protocol stack
+// touches — topology, fabric (pipe mode), metrics registry, trace ring.
+// Nothing in a cell is reachable from another cell except through the
+// engine's epoch-barrier exchange.
+type cell struct {
+	host topology.NodeID
+	k    *sim.Kernel
+	nw   *topology.Network
+	pipe *fabric.Pipe
+	nic  *nic.NIC
+	obs  *metrics.Observer
+	ring *trace.Ring
+
+	deliveries []Delivery
+}
+
+func (c *cell) Kernel() *sim.Kernel { return c.k }
+
+// Delivery is one accepted data frame, as observed by the destination
+// shard — the sharded cluster's delivery-order oracle record.
+type Delivery struct {
+	At       sim.Time
+	Src, Dst topology.NodeID
+	Msg      uint64
+	Gen      uint32
+	Seq      uint64
+}
+
+func (d Delivery) String() string {
+	return fmt.Sprintf("t=%d deliver %d->%d msg=%d gen=%d seq=%d", d.At, d.Src, d.Dst, d.Msg, d.Gen, d.Seq)
+}
+
+// Flow is one directed traffic stream of a sharded workload.
+type Flow struct {
+	Src, Dst topology.NodeID
+}
+
+// ShardedCluster runs one simulation partitioned into per-host shards
+// under the conservative parallel engine (internal/parsim). The partition
+// is fixed — one shard per host — and only cfg.Shards (the worker count)
+// varies, so every observable output is byte-identical across worker
+// counts by construction.
+//
+// Sharded mode swaps the wormhole fabric for the contention-decoupled
+// fabric.Pipe (see its doc comment for the model and why wormhole
+// backpressure cannot be sharded conservatively) and drives traffic at
+// the NIC frame level. VMMC endpoints and on-demand mapping read remote
+// state synchronously and are not yet supported here.
+type ShardedCluster struct {
+	Hosts     []topology.NodeID
+	Lookahead time.Duration
+
+	cfg    Config
+	cells  []*cell
+	byHost map[topology.NodeID]int
+	eng    *parsim.Engine
+}
+
+// NewSharded builds a sharded cluster from the same Config as New.
+// cfg.Shards sets the worker count (0 = GOMAXPROCS). Each shard's kernel
+// is seeded parsim.ShardSeed(cfg.Seed, shardIndex); per-NIC droppers use
+// the same per-host derivation as New.
+func NewSharded(cfg Config) *ShardedCluster {
+	if cfg.Mapper {
+		panic("core: sharded execution does not support on-demand mapping yet")
+	}
+	if cfg.Net == nil {
+		n := cfg.NumHosts
+		if n == 0 {
+			n = 2
+		}
+		cfg.Net, cfg.Hosts = topology.Star(n)
+	}
+	if len(cfg.Hosts) == 0 {
+		cfg.Hosts = cfg.Net.Hosts()
+	}
+	if len(cfg.Hosts) < 2 {
+		panic("core: sharded execution needs at least two hosts")
+	}
+	if cfg.Fabric == (fabric.Config{}) {
+		cfg.Fabric = fabric.DefaultConfig()
+	}
+
+	s := &ShardedCluster{
+		Hosts:     cfg.Hosts,
+		Lookahead: cfg.Fabric.MinCrossLatency(minHostHops(cfg.Net, cfg.Hosts)),
+		cfg:       cfg,
+		byHost:    make(map[topology.NodeID]int, len(cfg.Hosts)),
+	}
+	shards := make([]parsim.Shard, len(cfg.Hosts))
+	for i, h := range cfg.Hosts {
+		k := sim.New(parsim.ShardSeed(cfg.Seed, i))
+		obs := metrics.NewObserver(cfg.Metrics)
+		nw := cfg.Net.Clone()
+		pipe := fabric.NewPipe(k, nw, cfg.Fabric)
+		pipe.BindMetrics(obs.Registry())
+		ring := trace.NewRing(shardTraceCap)
+		pipe.SetTracer(ring)
+		var dropper fault.Dropper
+		if cfg.ErrorRate > 0 {
+			dropper = fault.NewRateSeeded(cfg.ErrorRate, cfg.Seed*1000003+int64(h)*7919+12289)
+		}
+		c := &cell{host: h, k: k, nw: nw, pipe: pipe, obs: obs, ring: ring}
+		c.nic = nic.New(k, pipe, h, nic.Options{
+			FT:      cfg.FT,
+			Retrans: cfg.Retrans,
+			Cost:    cfg.Cost,
+			Dropper: dropper,
+			Tracer:  ring,
+			Metrics: obs.Registry(),
+		})
+		c.nic.SetOnDeliver(func(f *proto.Frame) {
+			c.deliveries = append(c.deliveries, Delivery{
+				At: k.Now(), Src: f.Src, Dst: h, Msg: msgID(f), Gen: f.Gen, Seq: f.Seq,
+			})
+		})
+		s.cells = append(s.cells, c)
+		s.byHost[h] = i
+		shards[i] = c
+	}
+	// Pre-install shortest routes, as New does — each NIC only needs
+	// routes from its own host.
+	for i, a := range cfg.Hosts {
+		for _, b := range cfg.Hosts {
+			if a == b {
+				continue
+			}
+			if r, err := routing.Shortest(cfg.Net, a, b); err == nil {
+				s.cells[i].nic.SetRoute(b, r)
+			}
+		}
+	}
+	s.eng = parsim.NewEngine(shards, s.Lookahead, cfg.Shards)
+	// Shard boundary: a packet terminating at a remote host crosses via
+	// the engine, deep-copied — wire transit is the serialization point.
+	for i := range s.cells {
+		src := s.cells[i]
+		port := s.eng.Port(i)
+		src.pipe.SetEgress(func(dst topology.NodeID, at sim.Time, pkt *fabric.Packet) {
+			j, ok := s.byHost[dst]
+			if !ok {
+				return // terminal node is not a workload host: silently lost
+			}
+			cp := clonePacket(pkt)
+			dstCell := s.cells[j]
+			port.Send(at, j, func() { dstCell.pipe.Arrive(dst, cp) })
+		})
+	}
+	return s
+}
+
+// msgID extracts the VMMC message ID of a data frame (0 otherwise).
+func msgID(f *proto.Frame) uint64 {
+	if f.Data != nil {
+		return f.Data.MsgID
+	}
+	return 0
+}
+
+// clonePacket deep-copies a packet crossing a shard boundary. Callbacks
+// are stripped: OnInjectDone already fired on the source shard, and the
+// wire gives no cross-host drop feedback (which is why the retransmission
+// protocol exists).
+func clonePacket(pkt *fabric.Packet) *fabric.Packet {
+	cp := *pkt
+	cp.Route = pkt.Route.Clone()
+	cp.OnInjectDone = nil
+	cp.OnDropped = nil
+	if f, ok := pkt.Payload.(*proto.Frame); ok {
+		cp.Payload = f.Clone()
+	}
+	return &cp
+}
+
+// minHostHops returns the smallest switch count on any shortest route
+// between distinct hosts — the hop floor for the lookahead derivation.
+func minHostHops(nw *topology.Network, hosts []topology.NodeID) int {
+	best := 0
+	for _, a := range hosts {
+		for _, b := range hosts {
+			if a == b {
+				continue
+			}
+			r, err := routing.Shortest(nw, a, b)
+			if err != nil {
+				continue
+			}
+			if best == 0 || len(r) < best {
+				best = len(r)
+			}
+		}
+	}
+	if best == 0 {
+		best = 1
+	}
+	return best
+}
+
+// trunkLinks returns the switch-to-switch links of nw in link-ID order —
+// the same deterministic candidate set on every shard's replica.
+func trunkLinks(nw *topology.Network) []*topology.Link {
+	var out []*topology.Link
+	for _, l := range nw.Links {
+		if nw.Node(l.A.Node).Kind == topology.Switch &&
+			nw.Node(l.B.Node).Kind == topology.Switch {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// FlapTrunk schedules trunk link index ti (modulo the trunk count, in
+// link-ID order) to fail at `at` and heal at `at+dur`. The fault is
+// replicated onto every shard's topology view at the same simulated
+// instant — fault events are global state changes, not cross-shard
+// messages, so they need no lookahead and are identical for any worker
+// count. Call before Run.
+func (s *ShardedCluster) FlapTrunk(ti int, at, dur time.Duration) {
+	for _, c := range s.cells {
+		trunks := trunkLinks(c.nw)
+		if len(trunks) == 0 {
+			return
+		}
+		l := trunks[ti%len(trunks)]
+		nw := c.nw
+		c.k.After(at, func() { nw.KillLink(l) })
+		c.k.After(at+dur, func() { nw.RestoreLink(l) })
+	}
+}
+
+// StartFlows spawns the frame-level workload: for each flow, a sender
+// process on the source shard pushes msgs data frames of size bytes with
+// gap pacing (plus the chaos workload's per-flow stagger), and the
+// destination shard's delivery log records every accepted frame.
+func (s *ShardedCluster) StartFlows(flows []Flow, msgs, bytes int, gap time.Duration) {
+	if msgs == 0 {
+		msgs = 6
+	}
+	if bytes == 0 {
+		bytes = 512
+	}
+	if gap == 0 {
+		gap = 200 * time.Microsecond
+	}
+	for i, f := range flows {
+		c := s.cells[s.byHost[f.Src]]
+		dst := f.Dst
+		stagger := time.Duration(i%7) * 37 * time.Microsecond
+		mcount := msgs
+		size := bytes
+		pace := gap
+		c.k.Spawn(fmt.Sprintf("flow-%d-%d", f.Src, f.Dst), func(p *sim.Proc) {
+			p.Sleep(stagger)
+			for m := 1; m <= mcount; m++ {
+				frame := &proto.Frame{
+					Type: proto.FrameData,
+					Dst:  dst,
+					Data: &proto.DataPayload{
+						MsgID:  uint64(m),
+						MsgLen: size,
+						Data:   make([]byte, size),
+						Notify: true,
+					},
+				}
+				c.nic.Send(p, frame)
+				p.Sleep(pace)
+			}
+		})
+	}
+}
+
+// RunFor advances the whole sharded simulation by d.
+func (s *ShardedCluster) RunFor(d time.Duration) { s.eng.RunFor(d) }
+
+// Stop terminates every shard kernel and its processes.
+func (s *ShardedCluster) Stop() {
+	for _, c := range s.cells {
+		c.k.Stop()
+	}
+}
+
+// Now returns the time frontier all shards have reached.
+func (s *ShardedCluster) Now() sim.Time { return s.eng.Now() }
+
+// Workers returns the engine's worker count.
+func (s *ShardedCluster) Workers() int { return s.eng.Workers() }
+
+// Epochs returns how many epoch windows the engine has executed.
+func (s *ShardedCluster) Epochs() uint64 { return s.eng.Epochs() }
+
+// Exchanged returns how many packets crossed shard boundaries.
+func (s *ShardedCluster) Exchanged() uint64 { return s.eng.Exchanged() }
+
+// TotalExecuted sums executed events across all shard kernels.
+func (s *ShardedCluster) TotalExecuted() uint64 {
+	var t uint64
+	for _, c := range s.cells {
+		t += c.k.Executed()
+	}
+	return t
+}
+
+// NIC returns the NIC of host h.
+func (s *ShardedCluster) NIC(h topology.NodeID) *nic.NIC {
+	return s.cells[s.byHost[h]].nic
+}
+
+// CellKernel returns shard i's kernel (for RNG-discipline checks).
+func (s *ShardedCluster) CellKernel(i int) *sim.Kernel { return s.cells[i].k }
+
+// MergedObserver merges every shard's registry (in shard order — though
+// any order gives the same result, see metrics.MergeFrom) into one fresh
+// observer, materializing derived gauges at the current frontier.
+func (s *ShardedCluster) MergedObserver() *metrics.Observer {
+	obs := metrics.NewObserver(s.cfg.Metrics)
+	for _, c := range s.cells {
+		obs.Registry().MergeFrom(c.obs.Registry())
+	}
+	return obs
+}
+
+// TraceEvents returns the deterministic cluster-wide timeline: per-shard
+// rings merged by (time, shard index, emission order).
+func (s *ShardedCluster) TraceEvents() []trace.Event {
+	streams := make([][]trace.Event, len(s.cells))
+	for i, c := range s.cells {
+		streams[i] = c.ring.Events()
+	}
+	return trace.MergeStreams(streams...)
+}
+
+// Deliveries returns the merged delivery order: per-shard logs (each in
+// local time order) merged by (time, shard index, log position).
+func (s *ShardedCluster) Deliveries() []Delivery {
+	// Reuse the stable-sort merge rule via concatenation in shard order.
+	var out []Delivery
+	for _, c := range s.cells {
+		out = append(out, c.deliveries...)
+	}
+	stableSortDeliveries(out)
+	return out
+}
+
+// DeliveredCount returns the total number of accepted data frames.
+func (s *ShardedCluster) DeliveredCount() int {
+	n := 0
+	for _, c := range s.cells {
+		n += len(c.deliveries)
+	}
+	return n
+}
+
+// DumpObservables renders every observable of the run as one byte
+// stream — delivery order, merged metrics summary, and the merged
+// Perfetto trace export — the payload of the differential determinism
+// gate: byte-identical for every worker count.
+func (s *ShardedCluster) DumpObservables() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "sharded run: hosts=%d lookahead=%v frontier=%d exchanged=%d\n",
+		len(s.Hosts), s.Lookahead, s.Now(), s.Exchanged())
+	b.WriteString("--- deliveries ---\n")
+	for _, d := range s.Deliveries() {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString("--- metrics ---\n")
+	obs := s.MergedObserver()
+	obs.SampleNow(s.Now())
+	b.WriteString(obs.Summary())
+	if err := obs.WriteJSONL(&b); err != nil {
+		fmt.Fprintf(&b, "jsonl error: %v\n", err)
+	}
+	b.WriteString("--- perfetto ---\n")
+	if err := trace.WriteChromeTrace(&b, s.TraceEvents()); err != nil {
+		fmt.Fprintf(&b, "perfetto error: %v\n", err)
+	}
+	b.WriteByte('\n')
+	return b.Bytes()
+}
+
+// stableSortDeliveries orders by time, keeping concatenation (shard,
+// position) order for ties.
+func stableSortDeliveries(ds []Delivery) {
+	sort.SliceStable(ds, func(i, j int) bool { return ds[i].At < ds[j].At })
+}

@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func shardRegistry(host int, extra time.Duration) *Registry {
+	r := NewRegistry()
+	r.Counter("nic.pkts-sent", HostLabels(host)).Add(uint64(10 + host))
+	r.Counter("fabric.pkts_injected", nil).Add(3)
+	r.Gauge("nic.sram.free_buffers", HostLabels(host)).Set(float64(16 - host))
+	r.GaugeFunc("nic.cpu.busy_ns", HostLabels(host), func() float64 { return float64(100 * (host + 1)) })
+	h := r.Histogram("retrans.ack_latency", nil)
+	h.Observe(time.Millisecond + extra)
+	h.Observe(3*time.Millisecond + extra)
+	return r
+}
+
+// TestMergeOrderIndependent: merging shard registries in any order must
+// produce identical exports — the property the parallel engine's
+// deterministic dump rests on.
+func TestMergeOrderIndependent(t *testing.T) {
+	build := func(order []int) string {
+		shards := map[int]*Registry{
+			0: shardRegistry(0, 0),
+			1: shardRegistry(1, time.Microsecond),
+			2: shardRegistry(2, 5*time.Microsecond),
+		}
+		merged := NewRegistry()
+		for _, i := range order {
+			merged.MergeFrom(shards[i])
+		}
+		obs := &Observer{reg: merged}
+		return obs.Summary()
+	}
+	a := build([]int{0, 1, 2})
+	b := build([]int{2, 0, 1})
+	c := build([]int{1, 2, 0})
+	if a != b || b != c {
+		t.Fatalf("merge order changed the export:\n%s\nvs\n%s\nvs\n%s", a, b, c)
+	}
+	if !strings.Contains(a, "fabric.pkts_injected") {
+		t.Fatalf("merged summary missing expected metric:\n%s", a)
+	}
+}
+
+func TestMergeSemantics(t *testing.T) {
+	dst := NewRegistry()
+	dst.MergeFrom(shardRegistry(0, 0))
+	dst.MergeFrom(shardRegistry(1, 0))
+
+	// Shared-ident counters add.
+	if got := dst.Counter("fabric.pkts_injected", nil).Value(); got != 6 {
+		t.Fatalf("shared counter = %d, want 6", got)
+	}
+	// Host-labeled counters stay distinct.
+	if got := dst.Counter("nic.pkts-sent", HostLabels(0)).Value(); got != 10 {
+		t.Fatalf("host0 counter = %d, want 10", got)
+	}
+	if got := dst.Counter("nic.pkts-sent", HostLabels(1)).Value(); got != 11 {
+		t.Fatalf("host1 counter = %d, want 11", got)
+	}
+	// Derived gauges materialize as plain gauges.
+	if got := dst.Gauge("nic.cpu.busy_ns", HostLabels(1)).Value(); got != 200 {
+		t.Fatalf("materialized gauge = %g, want 200", got)
+	}
+	// Histograms merge bucket-wise.
+	h := dst.Histogram("retrans.ack_latency", nil)
+	if h.Count() != 4 {
+		t.Fatalf("merged histogram count = %d, want 4", h.Count())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 3*time.Millisecond {
+		t.Fatalf("merged min/max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Sum() != 8*time.Millisecond {
+		t.Fatalf("merged sum = %v, want 8ms", h.Sum())
+	}
+}
+
+func TestMergeEmptySources(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("x", nil).Add(1)
+	dst.MergeFrom(NewRegistry())
+	if got := dst.Counter("x", nil).Value(); got != 1 {
+		t.Fatalf("merge of empty registry disturbed dst: %d", got)
+	}
+	// Merging into empty reproduces the source exactly for counters.
+	src := shardRegistry(3, 0)
+	fresh := NewRegistry()
+	fresh.MergeFrom(src)
+	if fresh.Counter("nic.pkts-sent", HostLabels(3)).Value() != src.Counter("nic.pkts-sent", HostLabels(3)).Value() {
+		t.Fatal("merge into empty lost counter value")
+	}
+}

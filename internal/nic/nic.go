@@ -66,10 +66,19 @@ type depositMark struct {
 	valid bool
 }
 
+// Wire is the NIC's view of the network: the real wormhole fabric
+// (*fabric.Fabric) in sequential runs, a shard-local *fabric.Pipe under
+// the parallel engine. The NIC touches the wire only through these two
+// calls — attach a receive callback, and fire-and-forget injection.
+type Wire interface {
+	AttachHost(h topology.NodeID, fn func(*fabric.Packet))
+	Inject(src topology.NodeID, pkt *fabric.Packet)
+}
+
 // NIC is one simulated network interface.
 type NIC struct {
 	k    *sim.Kernel
-	fab  *fabric.Fabric
+	fab  Wire
 	node topology.NodeID
 	cost CostModel
 	ft   bool
@@ -131,7 +140,7 @@ func msgOf(frame *proto.Frame) uint64 {
 
 // New creates a NIC for host `node`, attaches it to the fabric, and (in FT
 // mode) starts the retransmission timer.
-func New(k *sim.Kernel, fab *fabric.Fabric, node topology.NodeID, opts Options) *NIC {
+func New(k *sim.Kernel, fab Wire, node topology.NodeID, opts Options) *NIC {
 	if opts.Cost == (CostModel{}) {
 		opts.Cost = DefaultCostModel()
 	}

@@ -1,0 +1,279 @@
+// Package parsim is a conservative (lookahead-based) parallel
+// discrete-event engine with two levels of parallelism:
+//
+//   - Level 1, sharded execution (Engine): one simulation partitioned
+//     into logical shards, each owning a sim.Kernel, executed in epoch
+//     windows of one lookahead. Cross-shard events are exchanged at
+//     epoch barriers and merged in deterministic (time, srcShard, seq)
+//     order, so the result is byte-identical for every worker count —
+//     the partition, not the scheduler, defines the semantics.
+//   - Level 2, replica parallelism (Pool): independent seeded replicas
+//     (chaos campaigns, proptest cases, sweep points) distributed over
+//     OS workers by work stealing, with results gathered by replica
+//     index so aggregation order is scheduling-independent.
+//
+// The conservative condition is the classic one: a shard executing the
+// window [T, T+L) may only produce events for other shards at times
+// ≥ T+L, where L is the lookahead — here the minimum cross-shard fabric
+// traversal latency. The paper's own argument makes this safe to rely
+// on: the retransmission protocol tolerates any packet delay or loss, so
+// correctness never depends on sub-lookahead cross-host reaction times.
+package parsim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sanft/internal/sim"
+)
+
+// Shard is one logical partition of a simulation: anything owning a
+// kernel. The engine drives the kernel through epoch windows; all other
+// shard state (NIC, fabric replica, buffers) stays private to the shard.
+type Shard interface {
+	Kernel() *sim.Kernel
+}
+
+// xev is one cross-shard event in flight between epochs.
+type xev struct {
+	at       sim.Time
+	src, dst int
+	seq      uint64
+	fn       func()
+}
+
+// xevLess orders cross-shard events by (time, source shard, per-source
+// sequence) — the deterministic merge rule. Two events can never compare
+// equal: seq is unique per source.
+func xevLess(a, b xev) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// Port is a shard's handle for posting cross-shard events. Each shard
+// holds its own port; posts go to a per-source outbox, so shards running
+// on different workers never share a write destination.
+type Port struct {
+	e   *Engine
+	src int
+}
+
+// Send schedules fn to run on shard dst's kernel at absolute time at.
+// It must be called from shard src's execution (during an epoch) and at
+// must be at least the current epoch's end — the conservative condition.
+// Violations panic: they mean the claimed lookahead was wrong.
+func (p *Port) Send(at sim.Time, dst int, fn func()) {
+	e := p.e
+	if dst < 0 || dst >= len(e.shards) {
+		panic(fmt.Sprintf("parsim: send to unknown shard %d", dst))
+	}
+	if at < e.curEnd {
+		panic(fmt.Sprintf("parsim: lookahead violation: shard %d sends event at %v inside epoch ending %v",
+			p.src, at, e.curEnd))
+	}
+	e.seq[p.src]++
+	e.outbox[p.src] = append(e.outbox[p.src], xev{at: at, src: p.src, dst: dst, seq: e.seq[p.src], fn: fn})
+}
+
+// Engine executes a set of shards under epoch barriers.
+type Engine struct {
+	shards    []Shard
+	lookahead time.Duration
+	workers   int
+
+	outbox [][]xev  // per source shard, filled during an epoch
+	inbox  [][]xev  // per destination shard, sorted by xevLess
+	seq    []uint64 // per-source post counter
+
+	now    sim.Time
+	curEnd sim.Time
+
+	epochs    uint64
+	exchanged uint64
+}
+
+// NewEngine builds an engine over shards with the given lookahead and
+// worker count (≤ 0 means GOMAXPROCS). The lookahead must be positive
+// and must lower-bound every cross-shard event delay.
+func NewEngine(shards []Shard, lookahead time.Duration, workers int) *Engine {
+	if len(shards) == 0 {
+		panic("parsim: no shards")
+	}
+	if lookahead <= 0 {
+		panic("parsim: lookahead must be positive")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		shards:    shards,
+		lookahead: lookahead,
+		workers:   workers,
+		outbox:    make([][]xev, len(shards)),
+		inbox:     make([][]xev, len(shards)),
+		seq:       make([]uint64, len(shards)),
+	}
+}
+
+// Port returns shard i's cross-shard send handle.
+func (e *Engine) Port(i int) *Port { return &Port{e: e, src: i} }
+
+// Workers returns the worker count the engine executes epochs with.
+func (e *Engine) Workers() int { return e.workers }
+
+// Lookahead returns the epoch window width.
+func (e *Engine) Lookahead() time.Duration { return e.lookahead }
+
+// Now returns the frontier all shard clocks have reached.
+func (e *Engine) Now() sim.Time { return e.now }
+
+// Epochs returns how many epoch windows have executed.
+func (e *Engine) Epochs() uint64 { return e.epochs }
+
+// Exchanged returns how many cross-shard events have crossed barriers.
+func (e *Engine) Exchanged() uint64 { return e.exchanged }
+
+// nextWork returns the earliest pending activity across all shards:
+// local kernel events and undelivered cross-shard arrivals.
+func (e *Engine) nextWork() (sim.Time, bool) {
+	var best sim.Time
+	found := false
+	note := func(t sim.Time) {
+		if !found || t < best {
+			best, found = t, true
+		}
+	}
+	for i, s := range e.shards {
+		if t, ok := s.Kernel().NextEvent(); ok {
+			note(t)
+		}
+		if len(e.inbox[i]) > 0 {
+			note(e.inbox[i][0].at)
+		}
+	}
+	return best, found
+}
+
+// deliver schedules shard i's due inbox events (time < end) into its
+// kernel, in (time, src, seq) order, and drops them from the inbox.
+func (e *Engine) deliver(i int, end sim.Time) {
+	in := e.inbox[i]
+	n := 0
+	for n < len(in) && in[n].at < end {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	k := e.shards[i].Kernel()
+	for _, ev := range in[:n] {
+		k.At(ev.at, ev.fn)
+	}
+	e.inbox[i] = append(in[:0:0], in[n:]...)
+}
+
+// runEpoch advances every shard kernel to end, distributing shards over
+// the worker goroutines by work stealing. The final-state guarantee does
+// not depend on the distribution: shards share no mutable state during
+// an epoch, and everything they exchange goes through the sorted outbox
+// merge afterwards.
+func (e *Engine) runEpoch(end sim.Time) {
+	w := e.workers
+	if w > len(e.shards) {
+		w = len(e.shards)
+	}
+	if w <= 1 {
+		for _, s := range e.shards {
+			s.Kernel().RunBefore(end)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(e.shards) {
+					return
+				}
+				e.shards[i].Kernel().RunBefore(end)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// collect moves every outbox event posted during the epoch into its
+// destination inbox and restores the inbox sort order.
+func (e *Engine) collect() {
+	touched := make(map[int]bool)
+	for src := range e.outbox {
+		for _, ev := range e.outbox[src] {
+			e.inbox[ev.dst] = append(e.inbox[ev.dst], ev)
+			touched[ev.dst] = true
+			e.exchanged++
+		}
+		e.outbox[src] = e.outbox[src][:0]
+	}
+	for dst := range touched {
+		in := e.inbox[dst]
+		sort.Slice(in, func(i, j int) bool { return xevLess(in[i], in[j]) })
+	}
+}
+
+// Run executes all shards up to (but excluding) time until, then aligns
+// every shard clock to until. Epoch windows start at the earliest pending
+// work — idle stretches are skipped in one jump, so the epoch count
+// scales with event density, not simulated duration.
+func (e *Engine) Run(until sim.Time) {
+	for e.now < until {
+		start, ok := e.nextWork()
+		if !ok || start >= until {
+			break
+		}
+		if start < e.now {
+			start = e.now
+		}
+		end := start.Add(e.lookahead)
+		if end > until {
+			end = until
+		}
+		e.curEnd = end
+		for i := range e.shards {
+			e.deliver(i, end)
+		}
+		e.runEpoch(end)
+		e.collect()
+		e.now = end
+		e.epochs++
+	}
+	// Align clocks on the frontier: no events remain before until.
+	e.curEnd = until
+	e.runEpoch(until)
+	e.now = until
+}
+
+// RunFor advances the engine by duration d.
+func (e *Engine) RunFor(d time.Duration) { e.Run(e.now.Add(d)) }

@@ -1,0 +1,74 @@
+package parsim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the Level-2 executor: independent seeded replicas (chaos
+// campaigns, proptest cases, parameter-sweep points) distributed over OS
+// workers. Replicas share nothing — each job builds its own cluster from
+// its own seed — so the only synchronization is claiming the next index
+// from a shared counter (work stealing from one central queue) and the
+// final gather, which stores results by replica index. Aggregation order
+// is therefore identical for any worker count or scheduling.
+type Pool struct {
+	// Workers is the OS-level worker count; ≤ 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Do runs job(0..n-1) across the pool's workers and returns when all
+// have finished. A panic in any job is re-raised in the caller after the
+// remaining workers drain.
+func (p Pool) Do(n int, job func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Map runs job(0..n-1) on pool p and gathers the results by index.
+func Map[T any](p Pool, n int, job func(i int) T) []T {
+	out := make([]T, n)
+	p.Do(n, func(i int) { out[i] = job(i) })
+	return out
+}

@@ -1,0 +1,26 @@
+package parsim
+
+// ShardSeed derives the RNG seed for shard (or replica) id from the root
+// seed, with a SplitMix64 finalizer so adjacent ids land in uncorrelated
+// streams. The derivation depends only on (root, id) — never on worker
+// count or scheduling — which is the per-shard RNG discipline: shard i's
+// Kernel.Rand() stream is the same whether the run uses 1 worker or 8.
+func ShardSeed(root int64, id int) int64 {
+	z := uint64(root) + 0x9e3779b97f4a7c15*uint64(int64(id)+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Seeds derives n replica seeds from root: Seeds(root, n)[i] ==
+// ShardSeed(root, i).
+func Seeds(root int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = ShardSeed(root, i)
+	}
+	return out
+}

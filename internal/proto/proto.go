@@ -156,6 +156,30 @@ type Frame struct {
 	ControlRoute routing.Route
 }
 
+// Clone returns a deep copy of the frame: payload bytes, probe fields,
+// and control route are all fresh. The parallel engine clones frames at
+// shard boundaries — wire transit is a serialization point, so receiver
+// and sender must not share mutable frame state once kernels run on
+// different workers (the receive path stamps Stamps.Delivered on its
+// copy; the sender's retransmission queue keeps the original).
+func (f *Frame) Clone() *Frame {
+	c := *f
+	if f.Data != nil {
+		d := *f.Data
+		d.Data = append([]byte(nil), f.Data.Data...)
+		c.Data = &d
+	}
+	if f.Probe != nil {
+		p := *f.Probe
+		p.ReturnRoute = f.Probe.ReturnRoute.Clone()
+		c.Probe = &p
+	}
+	if f.ControlRoute != nil {
+		c.ControlRoute = f.ControlRoute.Clone()
+	}
+	return &c
+}
+
 // WireSize returns the frame's size on the wire.
 func (f *Frame) WireSize() int {
 	n := HeaderBytes

@@ -170,6 +170,36 @@ func (k *Kernel) RunUntil(t Time) {
 // RunFor advances the simulation by duration d.
 func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now.Add(d)) }
 
+// RunBefore executes events with time strictly < t, then sets the clock
+// to t. Events scheduled exactly at t do not execute — they belong to the
+// next window. This is the epoch primitive of the conservative parallel
+// engine (internal/parsim): each shard kernel runs its window [now, t),
+// parks at t, and waits for the barrier to deliver cross-shard arrivals,
+// all of which carry times ≥ t.
+func (k *Kernel) RunBefore(t Time) {
+	for !k.stopped {
+		next := k.peek()
+		if next == nil || next.at >= t {
+			break
+		}
+		k.Step()
+	}
+	if !k.stopped && k.now < t {
+		k.now = t
+	}
+}
+
+// NextEvent returns the time of the earliest pending (non-cancelled)
+// event, if any. The parallel engine uses it to skip idle stretches:
+// an epoch window starts at the earliest work across all shards.
+func (k *Kernel) NextEvent() (Time, bool) {
+	ev := k.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
 func (k *Kernel) peek() *event {
 	for len(k.events) > 0 {
 		if k.events[0].cancelled {

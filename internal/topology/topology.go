@@ -214,6 +214,33 @@ func (nw *Network) Disconnect(a NodeID, pa int) *Link {
 	return l
 }
 
+// Clone returns a deep copy of the network: fresh Node and Link objects
+// with identical IDs, names, wiring, and up/down state. The parallel
+// engine gives each shard its own replica, so fault mutations (KillLink,
+// KillSwitch, restores) on one shard's view never race with another
+// shard's route walks. Link IDs index Links on both original and clone,
+// so a fault schedule expressed as link IDs applies to any replica.
+func (nw *Network) Clone() *Network {
+	c := &Network{
+		Nodes: make([]*Node, len(nw.Nodes)),
+		Links: make([]*Link, len(nw.Links)),
+	}
+	for i, l := range nw.Links {
+		cl := *l
+		c.Links[i] = &cl
+	}
+	for i, n := range nw.Nodes {
+		cn := &Node{ID: n.ID, Kind: n.Kind, Name: n.Name, Ports: make([]*Link, len(n.Ports)), Up: n.Up}
+		for p, l := range n.Ports {
+			if l != nil {
+				cn.Ports[p] = c.Links[l.ID]
+			}
+		}
+		c.Nodes[i] = cn
+	}
+	return c
+}
+
 // KillLink marks a link permanently failed. Traffic attempting to cross it
 // is dropped by the fabric.
 func (nw *Network) KillLink(l *Link) { l.Up = false }

@@ -1,0 +1,25 @@
+package trace
+
+import "sort"
+
+// MergeStreams interleaves per-shard event streams into one timeline
+// ordered by (At, stream index, within-stream position) — the parallel
+// engine's deterministic trace merge rule. Within one shard events are
+// already in emission (= simulated time) order; across shards, ties at
+// the same instant break by shard index, so the merged timeline is
+// byte-identical for every worker count. The result is a fresh slice
+// ready for WriteChromeTrace / WriteTimeline.
+func MergeStreams(streams ...[]Event) []Event {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]Event, 0, total)
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	// Stable sort on At alone: equal-time events keep concatenation
+	// order, which is exactly (stream index, within-stream position).
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

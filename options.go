@@ -155,6 +155,15 @@ func WithFlightRecorder(fr *FlightRecorder) Option {
 	return func(c *Config) { c.Tracer = fr }
 }
 
+// WithShards sets the worker count for sharded parallel execution
+// (NewSharded): how many OS threads drive the per-host shard kernels.
+// Any value — including the default 0 (= GOMAXPROCS) — produces
+// byte-identical results; the setting only changes wall-clock time.
+// Ignored by New.
+func WithShards(n int) Option {
+	return func(c *Config) { c.Shards = n }
+}
+
 // New builds a cluster from functional options:
 //
 //	c := sanft.New(

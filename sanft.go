@@ -145,6 +145,31 @@ func DefaultParams() RetransConfig {
 	return RetransConfig{QueueSize: 32, Interval: time.Millisecond}.Defaults()
 }
 
+// Sharded parallel execution types.
+type (
+	// ShardedCluster runs one simulation partitioned into per-host
+	// shards under the conservative parallel engine; outputs are
+	// byte-identical for every worker count. Build with NewSharded.
+	ShardedCluster = core.ShardedCluster
+	// Flow is one directed traffic stream of a sharded workload.
+	Flow = core.Flow
+	// Delivery is one accepted data frame in a sharded run's merged
+	// delivery order.
+	Delivery = core.Delivery
+)
+
+// NewSharded builds a sharded parallel cluster from the same options as
+// New (plus WithShards for the worker count). The partition is one shard
+// per host; cross-shard packets exchange at conservative epoch barriers
+// whose lookahead is the minimum fabric traversal latency.
+func NewSharded(opts ...Option) *ShardedCluster {
+	cfg := Config{Seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.NewSharded(cfg)
+}
+
 // NewStar builds a cluster of n hosts on one full-crossbar switch.
 //
 // Deprecated: use New with options, e.g.
