@@ -15,7 +15,14 @@
 //	sanchaos -campaign partition-heal # run one campaign
 //	sanchaos -seed 42 -events         # different schedule, print event log
 //	sanchaos -reps 16 -workers 4      # 16 seeds per campaign, 4 OS threads
+//	sanchaos -liveness                # baseline vs liveness variant, side by side
 //	sanchaos -list                    # list campaigns
+//
+// -liveness runs every selected campaign twice — once under the paper's
+// fixed-timer baseline and once with per-path liveness sessions plus
+// RTT-adaptive retransmission — and reports both, so the mttr_p50/mttr_p99
+// columns (also present in -json output) compare detection+recovery time
+// directly.
 //
 // -reps runs each campaign under reps consecutive seeds (seed..seed+reps-1);
 // -workers drives the (campaign, seed) grid through the parallel campaign
@@ -45,6 +52,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "campaign seed (drives fault schedule and traffic)")
 	reps := flag.Int("reps", 1, "replicas per campaign: seeds seed..seed+reps-1")
 	workers := flag.Int("workers", 1, "campaign pool workers (0 = GOMAXPROCS)")
+	liveness := flag.Bool("liveness", false,
+		"run each campaign under both the baseline and the liveness/adaptive variant")
 	events := flag.Bool("events", false, "print the full event log per campaign")
 	asJSON := flag.Bool("json", false, "emit one JSON object per campaign instead of text")
 	list := flag.Bool("list", false, "list available campaigns and exit")
@@ -64,16 +73,30 @@ func main() {
 		*reps = 1
 	}
 
+	// One campaign list per protocol variant. With -liveness the grid holds
+	// the baseline and the liveness build of every selected campaign,
+	// interleaved per campaign so the two reports print adjacent.
+	variants := []chaos.Variant{chaos.Baseline()}
+	if *liveness {
+		variants = append(variants, chaos.AdaptiveLiveness())
+	}
 	var todo []chaos.Campaign
 	if *campaign == "all" {
-		todo = all
-	} else {
-		c, ok := chaos.Find(*campaign)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "sanchaos: unknown campaign %q (try -list)\n", *campaign)
-			os.Exit(2)
+		for i := range all {
+			for _, v := range variants {
+				c, _ := chaos.FindWith(all[i].Name, v)
+				todo = append(todo, c)
+			}
 		}
-		todo = []chaos.Campaign{c}
+	} else {
+		for _, v := range variants {
+			c, ok := chaos.FindWith(*campaign, v)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "sanchaos: unknown campaign %q (try -list)\n", *campaign)
+				os.Exit(2)
+			}
+			todo = append(todo, c)
+		}
 	}
 
 	// The (campaign, seed) grid, in output order. The pool may execute it

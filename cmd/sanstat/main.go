@@ -15,6 +15,7 @@
 //	sanstat -campaign partition-heal -format summary
 //	sanstat -workload -hosts 4 -rate 0.01 -format prom
 //	sanstat -sample 500us -seed 42
+//	sanstat -liveness -format summary    # liveness sessions on: liveness.* series
 package main
 
 import (
@@ -37,13 +38,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	sample := flag.Duration("sample", time.Millisecond, "sampling interval (simulated time)")
 	format := flag.String("format", "jsonl", "output format: jsonl, prom or summary")
+	liveness := flag.Bool("liveness", false,
+		"enable per-path liveness sessions + adaptive retransmission (exports liveness.* series)")
 	flag.Parse()
 
 	var obs *sanft.Observer
 	if *workload {
-		obs = runWorkload(*hosts, *rate, *msgs, *seed, *sample)
+		obs = runWorkload(*hosts, *rate, *msgs, *seed, *sample, *liveness)
 	} else {
-		obs = runCampaign(*campaign, *seed, *sample)
+		obs = runCampaign(*campaign, *seed, *sample, *liveness)
 	}
 
 	var err error
@@ -67,8 +70,12 @@ func main() {
 // runCampaign executes the named chaos campaign with periodic sampling
 // attached before any traffic or faults, plus one final sample after the
 // cluster quiesces.
-func runCampaign(name string, seed int64, every time.Duration) *sanft.Observer {
-	c, ok := chaos.Find(name)
+func runCampaign(name string, seed int64, every time.Duration, liveness bool) *sanft.Observer {
+	v := chaos.Baseline()
+	if liveness {
+		v = chaos.AdaptiveLiveness()
+	}
+	c, ok := chaos.FindWith(name, v)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "sanstat: unknown campaign %q (try sanchaos -list)\n", name)
 		os.Exit(2)
@@ -86,14 +93,18 @@ func runCampaign(name string, seed int64, every time.Duration) *sanft.Observer {
 
 // runWorkload drives an all-pairs message exchange on a lossy star — the
 // micro-benchmark view of the registry, no faults beyond injected drops.
-func runWorkload(hosts int, rate float64, msgs int, seed int64, every time.Duration) *sanft.Observer {
-	c := sanft.New(
+func runWorkload(hosts int, rate float64, msgs int, seed int64, every time.Duration, liveness bool) *sanft.Observer {
+	opts := []sanft.Option{
 		sanft.WithStar(hosts),
 		sanft.WithFaultTolerance(sanft.DefaultParams()),
 		sanft.WithErrorRate(rate),
 		sanft.WithSeed(seed),
 		sanft.WithSampling(every),
-	)
+	}
+	if liveness {
+		opts = append(opts, sanft.WithLiveness(), sanft.WithAdaptiveRetrans())
+	}
+	c := sanft.New(opts...)
 	for i := 0; i < hosts; i++ {
 		for j := 0; j < hosts; j++ {
 			if i == j {

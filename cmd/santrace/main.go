@@ -38,6 +38,8 @@ func main() {
 	breakdown := flag.Bool("breakdown", true, "print the per-message latency breakdown")
 	recoveries := flag.Int("recoveries", 0, "print up to N recovery timelines around anomalies")
 	snapshots := flag.Bool("snapshots", false, "dump fault-triggered flight-recorder snapshots")
+	liveness := flag.Bool("liveness", false,
+		"enable per-path liveness sessions + adaptive retransmission (live-up/live-down in timeline)")
 	flag.Parse()
 
 	res, err := sanft.RunTraced(sanft.TraceSetup{
@@ -47,6 +49,7 @@ func main() {
 		Size:      *size,
 		ErrorRate: *errors,
 		Seed:      *seed,
+		Liveness:  *liveness,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "santrace:", err)

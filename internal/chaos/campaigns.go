@@ -6,14 +6,57 @@ import (
 	"time"
 
 	"sanft/internal/core"
+	"sanft/internal/liveness"
 	"sanft/internal/retrans"
 	"sanft/internal/topology"
 )
+
+// Variant selects the protocol configuration a campaign runs under, so
+// the same fault schedule can be measured against the paper's fixed-timer
+// baseline and against the adaptive-liveness stack.
+type Variant struct {
+	// Name labels report rows ("baseline", "liveness").
+	Name string
+	// Liveness, when non-nil, runs BFD-style per-path sessions feeding
+	// the remap/quarantine recovery path.
+	Liveness *liveness.Config
+	// Adaptive switches the retransmission timeout from the fixed
+	// interval to the RTT-driven Jacobson/Karn estimator.
+	Adaptive bool
+}
+
+// Baseline is the paper's configuration: fixed retransmission interval,
+// fixed permanent-failure threshold, no liveness sessions.
+func Baseline() Variant { return Variant{Name: "baseline"} }
+
+// AdaptiveLiveness enables per-path liveness sessions (RFC 5880-style
+// defaults: 1ms interval, detect multiplier 3) plus the RTT-adaptive
+// retransmission timeout.
+func AdaptiveLiveness() Variant {
+	return Variant{Name: "liveness", Liveness: &liveness.Config{}, Adaptive: true}
+}
+
+// apply overlays the variant onto a cluster configuration.
+func (v Variant) apply(cfg *core.Config) {
+	cfg.Liveness = v.Liveness
+	cfg.Retrans.Adaptive = v.Adaptive
+}
+
+// maxAttempts scales a campaign's remap-attempt bound: liveness detects
+// failures roughly 3× earlier than the fixed threshold, so the same fault
+// schedule legitimately drives more remap attempts.
+func (v Variant) maxAttempts(base int) int {
+	if base > 0 && v.Liveness != nil {
+		return base * 2
+	}
+	return base
+}
 
 // Report is the outcome of one campaign run — the degradation report the
 // sanchaos command prints.
 type Report struct {
 	Campaign string
+	Variant  string
 	Seed     int64
 
 	Faults   int
@@ -29,8 +72,12 @@ type Report struct {
 	Unreachables int
 	RemapStats   core.RemapStats
 
-	// MTTR summarizes delivery stalls (see Engine.MTTR).
-	MTTR string
+	// MTTR summarizes delivery stalls (see Engine.MTTR); MTTRp50 and
+	// MTTRp99 are the stall quantiles (zero when no stalls were observed)
+	// — the numbers the baseline-vs-liveness comparison ranks by.
+	MTTR    string
+	MTTRp50 time.Duration
+	MTTRp99 time.Duration
 
 	Violations []Violation
 
@@ -49,7 +96,7 @@ func (r *Report) String() string {
 	if !r.Passed() {
 		verdict = "FAIL"
 	}
-	fmt.Fprintf(&b, "campaign %s (seed %d): %s\n", r.Campaign, r.Seed, verdict)
+	fmt.Fprintf(&b, "%s: %s\n", r.Title(), verdict)
 	fmt.Fprintf(&b, "  faults injected:  %d (%d log events)\n", r.Faults, r.Events)
 	fmt.Fprintf(&b, "  flows:            %d pairs, %d messages expected\n", r.Pairs, r.Expected)
 	fmt.Fprintf(&b, "  delivered:        %d distinct, %d duplicate notifications\n",
@@ -95,21 +142,28 @@ func (c Campaign) RunInstrumented(seed int64, pre func(*core.Cluster)) *Report {
 // An invariant violation freezes a flight-recorder snapshot (when one is
 // attached) and embeds the recorder's dump in the report, so a failing
 // campaign ships its own post-mortem.
-func finish(name string, seed int64, e *Engine, r *Run, opts CheckOpts, dur time.Duration) *Report {
+func finish(name string, v Variant, seed int64, e *Engine, r *Run, opts CheckOpts, dur time.Duration) *Report {
 	e.C.RunFor(dur)
 	e.C.Stop()
 	e.Record("campaign %s complete", name)
 	violations := CheckInvariants(e, r, opts)
 	var dump string
 	if len(violations) > 0 && e.fr != nil {
-		for _, v := range violations {
-			e.fr.TriggerSnapshot("invariant:"+v.Invariant, e.C.Now())
+		for _, vio := range violations {
+			e.fr.TriggerSnapshot("invariant:"+vio.Invariant, e.C.Now())
 		}
 		dump = e.fr.Dump()
 	}
+	var p50, p99 time.Duration
+	if e.mttr.Count() > 0 {
+		p50, p99 = e.mttr.Quantile(0.5), e.mttr.Quantile(0.99)
+	}
 	return &Report{
 		Campaign:     name,
+		Variant:      v.Name,
 		Seed:         seed,
+		MTTRp50:      p50,
+		MTTRp99:      p99,
 		Faults:       e.Faults(),
 		Events:       e.Events(),
 		EventLog:     e.LogText(),
@@ -128,13 +182,13 @@ func finish(name string, seed int64, e *Engine, r *Run, opts CheckOpts, dur time
 
 // chainCluster builds the redundant 3-switch chain (two trunks between
 // adjacent switches, two hosts per switch) used by several campaigns.
-func chainCluster(seed int64) (*core.Cluster, []topology.NodeID) {
+func chainCluster(seed int64, v Variant) (*core.Cluster, []topology.NodeID) {
 	nw, rows := topology.Chain(3, 2, 2)
 	var hosts []topology.NodeID
 	for _, row := range rows {
 		hosts = append(hosts, row...)
 	}
-	c := core.New(core.Config{
+	cfg := core.Config{
 		Net: nw, Hosts: hosts, FT: true,
 		Retrans: retrans.Config{
 			QueueSize:         16,
@@ -143,18 +197,27 @@ func chainCluster(seed int64) (*core.Cluster, []topology.NodeID) {
 		},
 		Mapper: true,
 		Seed:   seed,
-	})
+	}
+	v.apply(&cfg)
+	c := core.New(cfg)
 	return c, hosts
 }
 
-// Campaigns returns the built-in campaign suite.
-func Campaigns() []Campaign {
+// Campaigns returns the built-in campaign suite under the paper's
+// baseline configuration.
+func Campaigns() []Campaign { return CampaignsWith(Baseline()) }
+
+// CampaignsWith returns the built-in campaign suite with every cluster
+// configured for the given variant — the same topologies, workloads, and
+// fault schedules, so baseline-vs-liveness reports differ only in the
+// protocol stack under test.
+func CampaignsWith(v Variant) []Campaign {
 	return []Campaign{
 		{
 			Name:  "link-flap",
 			About: "random trunk flaps on a redundant chain; strict delivery",
 			run: func(seed int64, pre func(*core.Cluster)) *Report {
-				c, hosts := chainCluster(seed)
+				c, hosts := chainCluster(seed, v)
 				if pre != nil {
 					pre(c)
 				}
@@ -163,8 +226,8 @@ func Campaigns() []Campaign {
 				// 3ms gap keeps the stall floor below remap-length stalls.
 				r := Workload{Pairs: AllPairs(hosts), Msgs: 20, Gap: 3 * time.Millisecond}.Start(e)
 				e.Install(LinkFlap{Start: time.Millisecond, Cycles: 10})
-				return finish("link-flap", seed, e, r,
-					CheckOpts{MaxRemapAttempts: 60}, 20*time.Second)
+				return finish("link-flap", v, seed, e, r,
+					CheckOpts{MaxRemapAttempts: v.maxAttempts(60)}, 20*time.Second)
 			},
 		},
 		{
@@ -173,7 +236,7 @@ func Campaigns() []Campaign {
 			run: func(seed int64, pre func(*core.Cluster)) *Report {
 				f := topology.NewFig2()
 				hosts := append([]topology.NodeID{f.Mapper}, f.Targets[:3]...)
-				c := core.New(core.Config{
+				cfg := core.Config{
 					Net: f.Net, Hosts: hosts, FT: true,
 					Retrans: retrans.Config{
 						QueueSize:         16,
@@ -182,7 +245,9 @@ func Campaigns() []Campaign {
 					},
 					Mapper: true,
 					Seed:   seed,
-				})
+				}
+				v.apply(&cfg)
+				c := core.New(cfg)
 				if pre != nil {
 					pre(c)
 				}
@@ -196,7 +261,7 @@ func Campaigns() []Campaign {
 					Down:     200 * time.Millisecond,
 					Repeat:   2,
 				})
-				return finish("switch-storm", seed, e, r,
+				return finish("switch-storm", v, seed, e, r,
 					CheckOpts{AllowLoss: true}, 20*time.Second)
 			},
 		},
@@ -204,7 +269,7 @@ func Campaigns() []Campaign {
 			Name:  "partition-heal",
 			About: "sever and heal the full cut between two halves of the chain",
 			run: func(seed int64, pre func(*core.Cluster)) *Report {
-				c, hosts := chainCluster(seed)
+				c, hosts := chainCluster(seed, v)
 				if pre != nil {
 					pre(c)
 				}
@@ -219,7 +284,7 @@ func Campaigns() []Campaign {
 					Start: 2 * time.Millisecond,
 					Heal:  300 * time.Millisecond,
 				})
-				rep := finish("partition-heal", seed, e, r,
+				rep := finish("partition-heal", v, seed, e, r,
 					CheckOpts{AllowLoss: true}, 20*time.Second)
 				// A 300ms full cut with ongoing demand must drive at least
 				// one destination into quarantine — that is the graceful
@@ -236,7 +301,7 @@ func Campaigns() []Campaign {
 			About: "send-side error rate ramped to 30% and back; strict delivery",
 			run: func(seed int64, pre func(*core.Cluster)) *Report {
 				nw, hosts := topology.Star(6)
-				c := core.New(core.Config{
+				cfg := core.Config{
 					Net: nw, Hosts: hosts, FT: true,
 					Retrans: retrans.Config{
 						QueueSize:         16,
@@ -244,7 +309,9 @@ func Campaigns() []Campaign {
 						PermFailThreshold: time.Second,
 					},
 					Seed: seed,
-				})
+				}
+				v.apply(&cfg)
+				c := core.New(cfg)
 				if pre != nil {
 					pre(c)
 				}
@@ -256,14 +323,14 @@ func Campaigns() []Campaign {
 					Start: time.Millisecond,
 					Step:  25 * time.Millisecond,
 				})
-				return finish("drop-ramp", seed, e, r, CheckOpts{}, 10*time.Second)
+				return finish("drop-ramp", v, seed, e, r, CheckOpts{}, 10*time.Second)
 			},
 		},
 		{
 			Name:  "composite",
 			About: "trunk flapping while the error rate ramps; strict delivery",
 			run: func(seed int64, pre func(*core.Cluster)) *Report {
-				c, hosts := chainCluster(seed)
+				c, hosts := chainCluster(seed, v)
 				if pre != nil {
 					pre(c)
 				}
@@ -273,16 +340,49 @@ func Campaigns() []Campaign {
 					LinkFlap{Start: time.Millisecond, Cycles: 8},
 					DropRamp{Rates: []float64{0.05, 0}, Start: time.Millisecond, Step: 30 * time.Millisecond},
 				}})
-				return finish("composite", seed, e, r,
-					CheckOpts{MaxRemapAttempts: 60}, 20*time.Second)
+				return finish("composite", v, seed, e, r,
+					CheckOpts{MaxRemapAttempts: v.maxAttempts(60)}, 20*time.Second)
+			},
+		},
+		{
+			Name:  "link-kill",
+			About: "one trunk dies permanently; the stall isolates detection+remap (MTTR)",
+			run: func(seed int64, pre func(*core.Cluster)) *Report {
+				c, hosts := chainCluster(seed, v)
+				if pre != nil {
+					pre(c)
+				}
+				e := NewEngine(c, seed)
+				// One host per switch keeps the post-kill retransmission
+				// storm light enough that mapping probes survive — the
+				// stall then isolates detection+remap, not congestion.
+				// 1ms pacing keeps the stall floor (2×gap) below both
+				// detection latencies under comparison: the liveness
+				// detection time (~3ms) and the fixed permanent-failure
+				// threshold (8ms). Traffic outlasts detection plus remap.
+				sparse := []topology.NodeID{hosts[0], hosts[2], hosts[4]}
+				r := Workload{Pairs: AllPairs(sparse), Msgs: 25, Gap: time.Millisecond}.Start(e)
+				// Kill a trunk the installed end-to-end route actually uses
+				// (not the redundant spare), so every seed's kill stalls
+				// traffic and forces a detection+remap cycle.
+				used := RouteTrunks(c.Net, sparse[0], sparse[2])
+				e.Install(LinkKill{
+					Links: []*topology.Link{used[e.Rand().Intn(len(used))]},
+					Start: 2 * time.Millisecond,
+				})
+				return finish("link-kill", v, seed, e, r,
+					CheckOpts{MaxRemapAttempts: v.maxAttempts(40)}, 5*time.Second)
 			},
 		},
 	}
 }
 
-// Find returns the campaign with the given name.
-func Find(name string) (Campaign, bool) {
-	for _, c := range Campaigns() {
+// Find returns the baseline campaign with the given name.
+func Find(name string) (Campaign, bool) { return FindWith(name, Baseline()) }
+
+// FindWith returns the campaign with the given name under a variant.
+func FindWith(name string, v Variant) (Campaign, bool) {
+	for _, c := range CampaignsWith(v) {
 		if c.Name == name {
 			return c, true
 		}

@@ -90,7 +90,7 @@ func TestCutLinks(t *testing.T) {
 // TestWorkloadDefaults checks the zero-value workload fills in sane
 // parameters and counts outcomes correctly on a fault-free run.
 func TestWorkloadDefaults(t *testing.T) {
-	c, hosts := chainCluster(3)
+	c, hosts := chainCluster(3, Baseline())
 	e := NewEngine(c, 3)
 	r := Workload{Pairs: []Pair{{hosts[0], hosts[5]}, {hosts[5], hosts[0]}}}.Start(e)
 	c.RunFor(2 * time.Second)

@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLinkKillLivenessBeatsBaseline is the headline claim of the adaptive
+// liveness work: on a permanent link failure, per-path liveness sessions
+// detect the dead trunk after ~3 negotiated intervals of control silence,
+// while the baseline waits out the full 8ms permanent-failure threshold —
+// so the liveness variant's MTTR p99 must be strictly lower, with both
+// variants still honouring every delivery invariant.
+func TestLinkKillLivenessBeatsBaseline(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		base, ok := FindWith("link-kill", Baseline())
+		if !ok {
+			t.Fatal("link-kill campaign missing")
+		}
+		live, _ := FindWith("link-kill", AdaptiveLiveness())
+
+		br := base.Run(seed)
+		lr := live.Run(seed)
+		if !br.Passed() {
+			t.Fatalf("seed %d: baseline violated invariants:\n%s", seed, br)
+		}
+		if !lr.Passed() {
+			t.Fatalf("seed %d: liveness violated invariants:\n%s", seed, lr)
+		}
+		if br.MTTRp99 == 0 {
+			t.Fatalf("seed %d: baseline observed no stalls — the kill missed the traffic", seed)
+		}
+		if lr.MTTRp99 >= br.MTTRp99 {
+			t.Fatalf("seed %d: liveness MTTR p99 %v not below baseline %v",
+				seed, lr.MTTRp99, br.MTTRp99)
+		}
+		t.Logf("seed %d: MTTR p99 baseline=%v liveness=%v (p50 %v vs %v)",
+			seed, br.MTTRp99, lr.MTTRp99, br.MTTRp50, lr.MTTRp50)
+	}
+}
+
+// TestVariantReportShape pins the report plumbing satellite: variant and
+// MTTR quantile columns must come through the tabular (JSON-able) form.
+func TestVariantReportShape(t *testing.T) {
+	r := &Report{Campaign: "x", Variant: "liveness", Seed: 7,
+		MTTR: "n=1", MTTRp50: time.Millisecond, MTTRp99: 2 * time.Millisecond}
+	rows := r.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	got := map[string]string{}
+	for i, col := range rows[0].Columns {
+		got[col] = rows[0].Values[i]
+	}
+	if got["variant"] != "liveness" || got["mttr_p50"] != "1ms" || got["mttr_p99"] != "2ms" {
+		t.Fatalf("cells = %v", got)
+	}
+	if r.Title() != "campaign x/liveness (seed 7)" {
+		t.Fatalf("title = %q", r.Title())
+	}
+	// Baseline titles keep the historical form.
+	r.Variant = "baseline"
+	if r.Title() != "campaign x (seed 7)" {
+		t.Fatalf("baseline title = %q", r.Title())
+	}
+}

@@ -23,15 +23,20 @@ func (r *Report) table() *report.Table {
 		}
 		violations += v.String()
 	}
+	variant := r.Variant
+	if variant == "" {
+		variant = "baseline"
+	}
 	return &report.Table{
 		Name: r.Title(),
 		Header: []string{
-			"verdict", "faults", "events", "pairs", "expected", "delivered",
-			"duplicates", "remaps", "unreachables", "remap_attempts",
-			"remap_coalesced", "remap_deferred", "quarantines", "mttr",
-			"violations",
+			"variant", "verdict", "faults", "events", "pairs", "expected",
+			"delivered", "duplicates", "remaps", "unreachables",
+			"remap_attempts", "remap_coalesced", "remap_deferred",
+			"quarantines", "mttr", "mttr_p50", "mttr_p99", "violations",
 		},
 		Cells: [][]string{{
+			variant,
 			verdict,
 			strconv.Itoa(r.Faults),
 			strconv.Itoa(r.Events),
@@ -46,13 +51,19 @@ func (r *Report) table() *report.Table {
 			strconv.Itoa(r.RemapStats.Deferred),
 			strconv.Itoa(r.RemapStats.Quarantines),
 			r.MTTR,
+			r.MTTRp50.String(),
+			r.MTTRp99.String(),
 			violations,
 		}},
 	}
 }
 
-// Title implements report.Report.
+// Title implements report.Report. The variant appears only when it is not
+// the baseline, so existing baseline output is unchanged.
 func (r *Report) Title() string {
+	if r.Variant != "" && r.Variant != "baseline" {
+		return fmt.Sprintf("campaign %s/%s (seed %d)", r.Campaign, r.Variant, r.Seed)
+	}
 	return fmt.Sprintf("campaign %s (seed %d)", r.Campaign, r.Seed)
 }
 

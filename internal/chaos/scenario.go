@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"sanft/internal/fault"
+	"sanft/internal/routing"
 	"sanft/internal/topology"
 )
 
@@ -62,6 +63,73 @@ func (s LinkFlap) Install(e *Engine) {
 		})
 	}
 	e.C.K.After(s.Start, flap)
+}
+
+// LinkKill permanently kills trunk links — no restore, ever. Detection
+// and remap are the only way traffic resumes, so the post-kill delivery
+// stall isolates detection latency: the fixed permanent-failure threshold
+// for the baseline protocol, the negotiated detection time when liveness
+// sessions are enabled. If Links is nil, Count distinct trunks are drawn
+// from the engine's RNG.
+type LinkKill struct {
+	Links []*topology.Link
+	Count int // used when Links is nil; default 1
+	Start time.Duration
+}
+
+func (s LinkKill) ScenarioName() string { return "link-kill" }
+
+func (s LinkKill) Install(e *Engine) {
+	victims := s.Links
+	if victims == nil {
+		n := s.Count
+		if n == 0 {
+			n = 1
+		}
+		trunks := TrunkLinks(e.C.Net)
+		if len(trunks) == 0 {
+			panic("chaos: LinkKill with no trunk links and no explicit Links")
+		}
+		perm := e.rng.Perm(len(trunks))
+		for i := 0; i < n && i < len(trunks); i++ {
+			victims = append(victims, trunks[perm[i]])
+		}
+	}
+	e.C.K.After(s.Start, func() {
+		for _, l := range victims {
+			e.RecordFault("link-kill %s (permanent)", LinkName(e.C.Net, l))
+			e.C.Fab.KillLink(l)
+		}
+	})
+}
+
+// RouteTrunks returns the trunk links the shortest route from host a to
+// host b crosses, in path order. Scenarios that must hit live traffic —
+// rather than a redundant spare — kill one of these.
+func RouteTrunks(nw *topology.Network, a, b topology.NodeID) []*topology.Link {
+	r, err := routing.Shortest(nw, a, b)
+	if err != nil {
+		return nil
+	}
+	res, err := routing.Walk(nw, a, r)
+	if err != nil {
+		return nil
+	}
+	var out []*topology.Link
+	for i, sw := range res.Switches {
+		if i >= len(r) {
+			break
+		}
+		l := nw.Node(sw).Ports[r[i]]
+		if l == nil {
+			continue
+		}
+		if nw.Node(l.A.Node).Kind == topology.Switch &&
+			nw.Node(l.B.Node).Kind == topology.Switch {
+			out = append(out, l)
+		}
+	}
+	return out
 }
 
 // SwitchOutage kills a set of switches simultaneously — a correlated

@@ -10,6 +10,7 @@ import (
 
 	"sanft/internal/fabric"
 	"sanft/internal/fault"
+	"sanft/internal/liveness"
 	"sanft/internal/mapping"
 	"sanft/internal/metrics"
 	"sanft/internal/nic"
@@ -38,6 +39,14 @@ type Config struct {
 	// ErrorRate is the paper's send-side injected drop rate (e.g. 1e-3);
 	// each NIC gets its own deterministic dropper. Zero means no errors.
 	ErrorRate float64
+
+	// Liveness, when non-nil, runs a BFD-style session on every routed
+	// path: sessions detect dead paths after DetectMult negotiated
+	// intervals of control silence — typically well before the fixed
+	// permanent-failure threshold — and feed the same remap/quarantine
+	// recovery path. Requires FT. The Seed field is a base; each session
+	// derives its own jitter stream from it.
+	Liveness *liveness.Config
 
 	// Cost overrides the NIC hardware cost model (zero = calibrated
 	// defaults); Fabric overrides wire constants (zero = defaults).
@@ -121,6 +130,17 @@ func New(cfg Config) *Cluster {
 	if cfg.Fabric == (fabric.Config{}) {
 		cfg.Fabric = fabric.DefaultConfig()
 	}
+	if cfg.Liveness != nil {
+		if !cfg.FT {
+			panic("core: liveness sessions require the retransmission protocol")
+		}
+		// Fold the cluster seed into the session-jitter base so different
+		// cluster seeds give independent control-packet phasing (each NIC
+		// then derives per-session streams from this base).
+		lc := *cfg.Liveness
+		lc.Seed = lc.Seed*1000003 + cfg.Seed
+		cfg.Liveness = &lc
+	}
 	k := sim.New(cfg.Seed)
 	obs := metrics.NewObserver(cfg.Metrics)
 	reg := obs.Registry()
@@ -152,12 +172,13 @@ func New(cfg Config) *Cluster {
 			dropper = fault.NewRateSeeded(cfg.ErrorRate, cfg.Seed*1000003+int64(h)*7919+12289)
 		}
 		n := nic.New(k, c.Fab, h, nic.Options{
-			FT:      cfg.FT,
-			Retrans: cfg.Retrans,
-			Cost:    cfg.Cost,
-			Dropper: dropper,
-			Tracer:  cfg.Tracer,
-			Metrics: reg,
+			FT:       cfg.FT,
+			Retrans:  cfg.Retrans,
+			Cost:     cfg.Cost,
+			Dropper:  dropper,
+			Tracer:   cfg.Tracer,
+			Metrics:  reg,
+			Liveness: cfg.Liveness,
 		})
 		c.nics[h] = n
 		c.eps[h] = vmmc.NewEndpoint(k, n, c.Dir)
@@ -184,6 +205,9 @@ func New(cfg Config) *Cluster {
 			c.remaps[h] = rm
 			c.nics[h].SetOnPathStale(rm.trigger)
 			c.nics[h].SetOnNoRoute(rm.trigger)
+			if cfg.Liveness != nil {
+				c.nics[h].SetOnSessionDown(rm.trigger)
+			}
 		}
 	}
 	if cfg.Metrics.SampleEvery > 0 {

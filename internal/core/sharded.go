@@ -106,6 +106,14 @@ func NewSharded(cfg Config) *ShardedCluster {
 	if cfg.Fabric == (fabric.Config{}) {
 		cfg.Fabric = fabric.DefaultConfig()
 	}
+	if cfg.Liveness != nil {
+		// Same seed folding as New: the derived base depends only on the
+		// cluster seed, never the shard, so results stay byte-identical
+		// across worker counts.
+		lc := *cfg.Liveness
+		lc.Seed = lc.Seed*1000003 + cfg.Seed
+		cfg.Liveness = &lc
+	}
 
 	s := &ShardedCluster{
 		Hosts:     cfg.Hosts,
@@ -128,12 +136,13 @@ func NewSharded(cfg Config) *ShardedCluster {
 		}
 		c := &cell{host: h, k: k, nw: nw, pipe: pipe, obs: obs, ring: ring}
 		c.nic = nic.New(k, pipe, h, nic.Options{
-			FT:      cfg.FT,
-			Retrans: cfg.Retrans,
-			Cost:    cfg.Cost,
-			Dropper: dropper,
-			Tracer:  ring,
-			Metrics: obs.Registry(),
+			FT:       cfg.FT,
+			Retrans:  cfg.Retrans,
+			Cost:     cfg.Cost,
+			Dropper:  dropper,
+			Tracer:   ring,
+			Metrics:  obs.Registry(),
+			Liveness: cfg.Liveness,
 		})
 		c.nic.SetOnDeliver(func(f *proto.Frame) {
 			c.deliveries = append(c.deliveries, Delivery{

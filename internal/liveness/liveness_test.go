@@ -1,0 +1,217 @@
+package liveness
+
+import (
+	"testing"
+	"time"
+
+	"sanft/internal/sim"
+)
+
+func at(ms int64) sim.Time { return sim.Time(0).Add(time.Duration(ms) * time.Millisecond) }
+
+// deliver carries one side's BuildTx output into the other side's OnRx.
+func deliver(from, to *Session, now sim.Time) RxResult {
+	return to.OnRx(from.BuildTx(now), now)
+}
+
+// TestThreeWayHandshake walks both sessions Down → Init → Up with the
+// exact RFC 5880 transition sequence.
+func TestThreeWayHandshake(t *testing.T) {
+	a := NewSession(Config{Seed: 1}, 0, 1)
+	b := NewSession(Config{Seed: 1}, 1, 0)
+
+	// A's Down packet moves B to Init.
+	r := deliver(a, b, at(1))
+	if !r.StateChanged || b.State() != Init {
+		t.Fatalf("B after Down packet: %v (changed=%v), want init", b.State(), r.StateChanged)
+	}
+	// B's Init packet moves A straight to Up.
+	r = deliver(b, a, at(2))
+	if a.State() != Up {
+		t.Fatalf("A after Init packet: %v, want up", a.State())
+	}
+	// A's Up packet completes B's handshake.
+	r = deliver(a, b, at(3))
+	if b.State() != Up {
+		t.Fatalf("B after Up packet: %v, want up", b.State())
+	}
+	if !r.StateChanged {
+		t.Fatal("B's transition to Up not reported")
+	}
+}
+
+// TestUpIgnoredWhileDown: a stale Up packet must not bypass the
+// handshake — only Down or Init packets move a Down session.
+func TestUpIgnoredWhileDown(t *testing.T) {
+	a := NewSession(Config{Seed: 1}, 0, 1)
+	b := NewSession(Config{Seed: 1}, 1, 0)
+	// Force B up, then reset A (models A restarting).
+	deliver(a, b, at(1))
+	deliver(b, a, at(2))
+	deliver(a, b, at(3))
+	a = NewSession(Config{Seed: 2}, 0, 1)
+	// B still believes Up; its packet must leave the fresh A Down.
+	if r := deliver(b, a, at(4)); r.StateChanged || a.State() != Down {
+		t.Fatalf("A accepted Up while Down: %v", a.State())
+	}
+	// And A's Down packet must drop B.
+	if deliver(a, b, at(5)); b.State() != Down {
+		t.Fatalf("B ignored peer Down: %v", b.State())
+	}
+}
+
+// TestDetectTimeout: silence drops an Up session, exactly once.
+func TestDetectTimeout(t *testing.T) {
+	s := NewSession(Config{Seed: 3}, 0, 1)
+	p := NewSession(Config{Seed: 3}, 1, 0)
+	deliver(s, p, at(1))
+	deliver(p, s, at(2))
+	if s.State() != Up {
+		t.Fatal("setup failed")
+	}
+	if !s.OnDetectTimeout() {
+		t.Fatal("detect timeout on Up session reported no transition")
+	}
+	if s.State() != Down {
+		t.Fatalf("state after timeout: %v", s.State())
+	}
+	if s.OnDetectTimeout() {
+		t.Fatal("second timeout reported a transition")
+	}
+}
+
+// TestNegotiation: asymmetric timer terms resolve per RFC 5880 — tx
+// interval is max(local DesiredMinTx, remote RequiredMinRx); detection
+// time is DetectMult × max(local RequiredMinRx, remote DesiredMinTx).
+func TestNegotiation(t *testing.T) {
+	fast := NewSession(Config{DesiredMinTx: time.Millisecond, DetectMult: 3, Seed: 1}, 0, 1)
+	slow := NewSession(Config{DesiredMinTx: 4 * time.Millisecond, DetectMult: 5, Seed: 1}, 1, 0)
+	deliver(slow, fast, at(1))
+	deliver(fast, slow, at(2))
+
+	// The fast side must slow to the slow side's 4ms RequiredMinRx.
+	if got := fast.TxInterval(); got != 4*time.Millisecond {
+		t.Fatalf("fast tx interval = %v, want 4ms", got)
+	}
+	// The slow side keeps its own 4ms floor.
+	if got := slow.TxInterval(); got != 4*time.Millisecond {
+		t.Fatalf("slow tx interval = %v, want 4ms", got)
+	}
+	// Fast expects packets no slower than the slow side's 4ms DesiredMinTx:
+	// detection = 3 × 4ms.
+	if got := fast.DetectionTime(); got != 12*time.Millisecond {
+		t.Fatalf("fast detection time = %v, want 12ms", got)
+	}
+	// Slow's detection = 5 × max(4ms, 1ms) = 20ms.
+	if got := slow.DetectionTime(); got != 20*time.Millisecond {
+		t.Fatalf("slow detection time = %v, want 20ms", got)
+	}
+}
+
+// TestJitterBounds: every transmit delay falls in [75%, 100%] of the
+// negotiated interval (RFC 5880 §6.8.7), and the stream is deterministic
+// per seed.
+func TestJitterBounds(t *testing.T) {
+	mk := func(seed int64) *Session { return NewSession(Config{Seed: seed}, 0, 1) }
+	a, b := mk(7), mk(7)
+	iv := a.TxInterval()
+	var prev time.Duration
+	varied := false
+	for i := 0; i < 200; i++ {
+		// Hold the session Up so backoff stays out of the picture.
+		a.state, b.state = Up, Up
+		da, db := a.NextTxDelay(), b.NextTxDelay()
+		if da != db {
+			t.Fatalf("draw %d: same seed diverged (%v vs %v)", i, da, db)
+		}
+		if da < time.Duration(float64(iv)*0.7499) || da > iv {
+			t.Fatalf("draw %d: delay %v outside [0.75, 1] × %v", i, da, iv)
+		}
+		if i > 0 && da != prev {
+			varied = true
+		}
+		prev = da
+	}
+	if !varied {
+		t.Fatal("jitter produced a constant delay")
+	}
+	if c := mk(8).NextTxDelay(); c == prev {
+		t.Fatal("different seeds produced identical first draws")
+	}
+}
+
+// TestDownBackoff: while a session is down, successive transmissions
+// stretch the interval geometrically up to DownBackoffMax; recovery
+// snaps it back to the base interval.
+func TestDownBackoff(t *testing.T) {
+	cfg := Config{DesiredMinTx: time.Millisecond, DownBackoffMax: 8 * time.Millisecond, JitterFrac: 1e-9, Seed: 1}
+	s := NewSession(cfg, 0, 1)
+	var delays []time.Duration
+	for i := 0; i < 6; i++ {
+		s.BuildTx(at(int64(i)))
+		delays = append(delays, s.NextTxDelay())
+	}
+	// downStreak is 1..6 → 2ms, 4ms, 8ms, capped thereafter.
+	approx := func(d, want time.Duration) bool {
+		return d > want-want/100 && d <= want
+	}
+	if !approx(delays[0], 2*time.Millisecond) || !approx(delays[1], 4*time.Millisecond) ||
+		!approx(delays[2], 8*time.Millisecond) || !approx(delays[5], 8*time.Millisecond) {
+		t.Fatalf("backoff sequence wrong: %v", delays)
+	}
+	// Handshake back up: delay returns to the base interval.
+	p := NewSession(cfg, 1, 0)
+	deliver(s, p, at(10)) // p: Down → Init
+	deliver(p, s, at(11)) // s: Down + Init → Up
+	if s.State() != Up {
+		t.Fatalf("state after recovery: %v", s.State())
+	}
+	if d := s.NextTxDelay(); !approx(d, time.Millisecond) {
+		t.Fatalf("post-recovery delay %v, want ~1ms", d)
+	}
+}
+
+// TestRTTSampling: the echo fields yield RTT = now − sendTime − hold.
+func TestRTTSampling(t *testing.T) {
+	a := NewSession(Config{Seed: 1}, 0, 1)
+	b := NewSession(Config{Seed: 1}, 1, 0)
+
+	// A sends at t=1ms; B receives it at t=1ms (wire time folded into
+	// hold here) and replies at t=3ms having held 2ms.
+	pa := a.BuildTx(at(1))
+	b.OnRx(pa, at(1))
+	pb := b.BuildTx(at(3))
+	r := a.OnRx(pb, at(3))
+	if !r.HasRTT {
+		t.Fatal("no RTT sample from echoed packet")
+	}
+	// now(3ms) − sent(1ms) − hold(2ms) = 0.
+	if r.RTT != 0 {
+		t.Fatalf("RTT = %v, want 0", r.RTT)
+	}
+
+	// With 100µs of wire each way: A sends t=5ms, B hears t=5.1ms,
+	// replies t=5.2ms (hold 100µs), A hears t=5.3ms → RTT 200µs.
+	pa = a.BuildTx(at5(5000))
+	b.OnRx(pa, at5(5100))
+	pb = b.BuildTx(at5(5200))
+	r = a.OnRx(pb, at5(5300))
+	if !r.HasRTT || r.RTT != 200*time.Microsecond {
+		t.Fatalf("RTT = %v (has=%v), want 200µs", r.RTT, r.HasRTT)
+	}
+}
+
+func at5(us int64) sim.Time { return sim.Time(0).Add(time.Duration(us) * time.Microsecond) }
+
+// TestDiscriminatorMismatch: a packet addressed to a stale discriminator
+// (pre-restart session) must be ignored entirely.
+func TestDiscriminatorMismatch(t *testing.T) {
+	a := NewSession(Config{Seed: 1}, 0, 1)
+	b := NewSession(Config{Seed: 1}, 1, 0)
+	deliver(a, b, at(1))
+	p := b.BuildTx(at(2))
+	p.YourDisc = 12345 // not A's discriminator
+	if r := a.OnRx(p, at(2)); r.StateChanged || a.State() != Down {
+		t.Fatalf("mismatched discriminator accepted: %v", a.State())
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"sanft/internal/fabric"
 	"sanft/internal/fault"
+	"sanft/internal/liveness"
 	"sanft/internal/metrics"
 	"sanft/internal/proto"
 	"sanft/internal/retrans"
@@ -44,6 +45,18 @@ type Options struct {
 	// OnNoRoute fires when a packet must be transmitted but no route to
 	// its destination is installed.
 	OnNoRoute func(dst topology.NodeID)
+	// OnSessionDown fires (at most once per remap cycle, sharing the
+	// stale/no-route guard) when a liveness session to a destination
+	// drops — the adaptive counterpart of OnPathStale, typically an
+	// order of magnitude earlier.
+	OnSessionDown func(dst topology.NodeID)
+	// Liveness, if non-nil, runs a BFD-style liveness session per routed
+	// destination in this NIC's firmware (internal/liveness): periodic
+	// jittered control packets, detect-multiplier timeouts, and RTT
+	// samples feeding the adaptive retransmission timer when
+	// Retrans.Adaptive is set. Nil (the default) is the paper's
+	// fixed-timer firmware, bit for bit.
+	Liveness *liveness.Config
 	// Tracer, if non-nil, receives a packet-level event per protocol
 	// action (see internal/trace). Debugging aid; zero cost when nil.
 	Tracer trace.Tracer
@@ -99,6 +112,7 @@ type NIC struct {
 	rcv        *retrans.Receiver
 	delayedAck map[topology.NodeID]*sim.Timer
 	inRemap    map[topology.NodeID]bool
+	live       map[topology.NodeID]*liveSession
 	// deposited tracks, per source, the newest (gen, seq) whose data has
 	// completed its DMA into host memory — the acknowledgment horizon
 	// under reliable-reception semantics (deposits are FIFO through the
@@ -157,6 +171,7 @@ func New(k *sim.Kernel, fab Wire, node topology.NodeID, opts Options) *NIC {
 		freeBuffers: opts.Retrans.QueueSize,
 		delayedAck:  make(map[topology.NodeID]*sim.Timer),
 		inRemap:     make(map[topology.NodeID]bool),
+		live:        make(map[topology.NodeID]*liveSession),
 		deposited:   make(map[topology.NodeID]depositMark),
 		dropper:     opts.Dropper,
 		opts:        opts,
@@ -195,6 +210,17 @@ func (n *NIC) registerGauges() {
 	if n.snd != nil {
 		n.mx.GaugeFunc("retrans.queue_depth", func() float64 { return float64(n.snd.TotalUnacked()) })
 	}
+	if n.opts.Liveness != nil {
+		n.mx.GaugeFunc("liveness.sessions_up", func() float64 {
+			c := 0
+			for _, ls := range n.live {
+				if ls.s.State() == liveness.Up {
+					c++
+				}
+			}
+			return float64(c)
+		})
+	}
 }
 
 // MetricsScope returns the NIC's host-labeled metrics scope, shared with
@@ -216,6 +242,9 @@ func (n *NIC) SetOnPathStale(fn func(dst topology.NodeID)) { n.opts.OnPathStale 
 
 // SetOnNoRoute replaces the missing-route upcall.
 func (n *NIC) SetOnNoRoute(fn func(dst topology.NodeID)) { n.opts.OnNoRoute = fn }
+
+// SetOnSessionDown replaces the liveness session-down upcall.
+func (n *NIC) SetOnSessionDown(fn func(dst topology.NodeID)) { n.opts.OnSessionDown = fn }
 
 // SetTracer wires (or removes, with nil) a packet-event tracer.
 func (n *NIC) SetTracer(tr trace.Tracer) { n.opts.Tracer = tr }
@@ -289,6 +318,7 @@ func (n *NIC) FT() bool { return n.ft }
 func (n *NIC) SetRoute(dst topology.NodeID, r routing.Route) {
 	n.routes[dst] = r
 	delete(n.inRemap, dst)
+	n.ensureSession(dst)
 }
 
 // Route returns the installed route to dst.
@@ -549,6 +579,10 @@ func (n *NIC) scheduleTimer() {
 	// re-deadlock forever — a livelock only possible because the
 	// simulation starts every NIC at t=0.
 	phase := time.Duration(int64(n.node)%16) * (interval / 16)
+	if n.snd.Config().Adaptive {
+		n.k.After(interval+phase, n.adaptiveTimerFire)
+		return
+	}
 	var tick func()
 	tick = func() {
 		n.timerFire()
@@ -562,21 +596,53 @@ func (n *NIC) scheduleTimer() {
 func (n *NIC) timerFire() {
 	active := len(n.routes)
 	cost := n.cost.TimerScanCost + time.Duration(active)*n.cost.TimerPerDestCost
-	n.cpu.Submit(cost, func() {
-		now := n.k.Now()
-		batches := n.snd.Tick(now)
-		for _, b := range batches {
-			n.retransmitBatch(b)
-		}
-		if n.opts.OnPathStale != nil {
-			for _, dst := range n.snd.StalePaths(now) {
-				if !n.inRemap[dst] {
-					n.inRemap[dst] = true
-					n.emit(trace.EvPathStale, dst, 0, 0, 0)
-					n.opts.OnPathStale(dst)
-				}
+	n.cpu.Submit(cost, n.timerScan)
+}
+
+// timerScan is the scan body, run in firmware (cpu) context.
+func (n *NIC) timerScan() {
+	now := n.k.Now()
+	batches := n.snd.Tick(now)
+	for _, b := range batches {
+		n.retransmitBatch(b)
+	}
+	if n.opts.OnPathStale != nil {
+		for _, dst := range n.snd.StalePaths(now) {
+			if !n.inRemap[dst] {
+				n.inRemap[dst] = true
+				n.emit(trace.EvPathStale, dst, 0, 0, 0)
+				n.opts.OnPathStale(dst)
 			}
 		}
+	}
+}
+
+// adaptiveTimerFire is the deadline-driven variant of the scan used with
+// Retrans.Adaptive: after each scan the next one is scheduled at the
+// earliest per-destination timeout deadline (clamped between RTOMin/2 and
+// the fixed Interval) instead of a free-running period, so a timeout is
+// detected within half an RTO-floor of expiring rather than up to a full
+// period late.
+func (n *NIC) adaptiveTimerFire() {
+	active := len(n.routes)
+	cost := n.cost.TimerScanCost + time.Duration(active)*n.cost.TimerPerDestCost
+	n.cpu.Submit(cost, func() {
+		n.timerScan()
+		cfg := n.snd.Config()
+		delay := cfg.Interval
+		if dl, ok := n.snd.NextDeadline(); ok {
+			if d := dl.Sub(n.k.Now()); d < delay {
+				delay = d
+			}
+		}
+		floor := cfg.RTOMin / 2
+		if floor <= 0 {
+			floor = 50 * time.Microsecond
+		}
+		if delay < floor {
+			delay = floor
+		}
+		n.k.After(delay, n.adaptiveTimerFire)
 	})
 }
 
@@ -599,7 +665,12 @@ func (n *NIC) noteAcked(freed []*retrans.Entry) {
 // in one round trip.
 func (n *NIC) retransmitBatch(b retrans.Batch) {
 	n.inc("retransmit-bursts", 1)
-	n.mx.Observe("retrans.timeout_latency_ns", b.Oldest)
+	// detect_ns is the honest timeout-detection latency: the timeout in
+	// force plus the scan-quantization wait; scan_wait_ns isolates that
+	// second component (up to a full period for the fixed free-running
+	// timer, at most RTOMin/2 + scan cost for the adaptive one).
+	n.mx.Observe("retrans.detect_ns", b.Oldest)
+	n.mx.Observe("retrans.scan_wait_ns", b.Waited)
 	cost := time.Duration(len(b.Entries)) * n.cost.RetransPktCost
 	n.cpu.Submit(cost, func() {
 		items := make([]txItem, 0, len(b.Entries))
@@ -685,6 +756,8 @@ func (n *NIC) processFrame(frame *proto.Frame, pkt *fabric.Packet) {
 			n.SetRoute(frame.Src, frame.Probe.ReturnRoute)
 			n.inc("route-updates", 1)
 		}
+	case proto.FrameLiveness:
+		n.onLiveness(frame)
 	}
 }
 

@@ -33,9 +33,13 @@ const (
 	// Sent by a mapper after a successful remap, so that the remote
 	// node's acknowledgments (and data) can reach it over the new path.
 	FrameRouteUpdate
+	// FrameLiveness is a BFD-style liveness control packet exchanged
+	// between NIC firmwares (internal/liveness). Like acks, liveness
+	// packets are fire-and-forget: losing one only delays detection.
+	FrameLiveness
 )
 
-var frameNames = [...]string{"data", "ack", "host-probe", "host-probe-reply", "echo-probe", "route-update"}
+var frameNames = [...]string{"data", "ack", "host-probe", "host-probe-reply", "echo-probe", "route-update", "liveness"}
 
 func (t FrameType) String() string {
 	if int(t) < len(frameNames) {
@@ -119,6 +123,35 @@ type ProbePayload struct {
 	ReplierID topology.NodeID
 }
 
+// LivenessPayload is the BFD-style control packet body (internal/liveness).
+// Field names follow RFC 5880 where the mapping is direct; the RTT echo
+// fields (YourSeq/HoldNs) are the NTP-style addition that lets each side
+// sample path round-trip time from the periodic control traffic alone.
+type LivenessPayload struct {
+	// State is the sender's session state (liveness.State as uint8).
+	State uint8
+	// MyDisc and YourDisc are the session discriminators: the sender's
+	// own, and the last one it heard from the receiver (0 = unknown).
+	MyDisc, YourDisc uint32
+	// DesiredMinTxNs and RequiredMinRxNs are the sender's timer terms,
+	// in nanoseconds; DetectMult is its detection multiplier. The
+	// receiver derives the negotiated transmit interval and detection
+	// time from these (RFC 5880 §6.8.2/§6.8.4).
+	DesiredMinTxNs  int64
+	RequiredMinRxNs int64
+	DetectMult      uint8
+	// Seq numbers this sender's control packets; YourSeq echoes the
+	// newest Seq received from the peer (0 = none yet), and HoldNs is
+	// how long the sender sat on that packet before replying. The peer
+	// computes RTT = now - sendTime(YourSeq) - HoldNs.
+	Seq     uint64
+	YourSeq uint64
+	HoldNs  int64
+}
+
+// LivenessWireBytes is the on-wire size of a liveness control packet body.
+const LivenessWireBytes = 40
+
 // Frame is the protocol-level packet contents.
 type Frame struct {
 	Type FrameType
@@ -148,6 +181,7 @@ type Frame struct {
 
 	Data   *DataPayload
 	Probe  *ProbePayload
+	Live   *LivenessPayload
 	Stamps Stamps
 
 	// ControlRoute, when non-nil, overrides the NIC routing table for
@@ -174,6 +208,10 @@ func (f *Frame) Clone() *Frame {
 		p.ReturnRoute = f.Probe.ReturnRoute.Clone()
 		c.Probe = &p
 	}
+	if f.Live != nil {
+		l := *f.Live
+		c.Live = &l
+	}
 	if f.ControlRoute != nil {
 		c.ControlRoute = f.ControlRoute.Clone()
 	}
@@ -188,6 +226,9 @@ func (f *Frame) WireSize() int {
 	}
 	if f.Probe != nil {
 		n += 8 + len(f.Probe.ReturnRoute)
+	}
+	if f.Live != nil {
+		n += LivenessWireBytes
 	}
 	return n
 }

@@ -79,6 +79,21 @@ type Config struct {
 	// (every failure is treated as transient). Default in the full
 	// system: 250ms.
 	PermFailThreshold time.Duration
+
+	// Adaptive replaces the fixed per-destination timeout (Interval) with
+	// a Jacobson/Karn SRTT/RTTVAR retransmission timeout: RTT samples
+	// (from unambiguous acks and from liveness control traffic via
+	// ObserveRTT) drive RTO = SRTT + 4·RTTVAR, clamped to
+	// [RTOMin, RTOMax], with exponential backoff per unanswered
+	// retransmission (Karn's algorithm). Interval remains the timer-scan
+	// ceiling and the timeout for destinations with no samples yet, so
+	// the paper's fixed-timer behavior is the Adaptive=false default.
+	Adaptive bool
+	// RTOMin floors the adaptive timeout (default 200µs).
+	RTOMin time.Duration
+	// RTOMax caps the adaptive timeout, including Karn backoff (default
+	// 8 × Interval).
+	RTOMax time.Duration
 }
 
 // Defaults fills zero fields with the paper's best-compromise values.
@@ -94,6 +109,14 @@ func (c Config) Defaults() Config {
 	}
 	if c.DelayedAck == 0 {
 		c.DelayedAck = 30 * time.Microsecond
+	}
+	if c.Adaptive {
+		if c.RTOMin == 0 {
+			c.RTOMin = 200 * time.Microsecond
+		}
+		if c.RTOMax == 0 {
+			c.RTOMax = 8 * c.Interval
+		}
 	}
 	return c
 }
@@ -132,6 +155,14 @@ type destState struct {
 	lastProgress sim.Time // last ack that freed something (or creation)
 	sinceAckReq  int      // packets since an ack was last requested
 	unreachable  bool
+
+	// Adaptive-timeout state (Jacobson/Karn), used only with
+	// Config.Adaptive: smoothed RTT and variance in nanoseconds, and the
+	// exponential backoff applied after each unanswered retransmission.
+	srtt    int64
+	rttvar  int64
+	hasRTT  bool
+	backoff uint
 }
 
 // Sender is the send side of the protocol for one NIC.
@@ -260,7 +291,106 @@ func (s *Sender) OnAck(dst topology.NodeID, ackGen uint32, ackSeq uint64, now si
 	d.queue = d.queue[i:]
 	d.lastProgress = now
 	s.Acked += uint64(len(freed))
+	if s.cfg.Adaptive {
+		// Karn's algorithm: only never-retransmitted entries give an
+		// unambiguous RTT (the ack provably answers this transmission).
+		// Sample the newest qualifying entry of the run.
+		for j := len(freed) - 1; j >= 0; j-- {
+			e := freed[j]
+			if e.Sent && e.Retransmits == 0 {
+				s.ObserveRTT(dst, now.Sub(e.LastSent))
+				break
+			}
+		}
+	}
 	return freed
+}
+
+// ObserveRTT feeds one path round-trip sample for dst into the adaptive
+// timeout estimator (Jacobson: SRTT += (rtt−SRTT)/8, RTTVAR +=
+// (|rtt−SRTT|−RTTVAR)/4) and, since a fresh sample proves the path
+// answers, resets the Karn backoff. Samples come from unambiguous data
+// acks (OnAck) and from liveness control traffic (the NIC). No-op unless
+// Adaptive.
+func (s *Sender) ObserveRTT(dst topology.NodeID, rtt time.Duration) {
+	if !s.cfg.Adaptive || rtt < 0 {
+		return
+	}
+	d := s.dests[dst]
+	if d == nil {
+		return
+	}
+	r := int64(rtt)
+	if !d.hasRTT {
+		d.srtt = r
+		d.rttvar = r / 2
+		d.hasRTT = true
+	} else {
+		diff := r - d.srtt
+		if diff < 0 {
+			diff = -diff
+		}
+		d.rttvar += (diff - d.rttvar) / 4
+		d.srtt += (r - d.srtt) / 8
+	}
+	d.backoff = 0
+}
+
+// timeoutFor returns the retransmission timeout in force for one
+// destination: the fixed Interval, or with Adaptive the Jacobson RTO
+// (SRTT + 4·RTTVAR clamped to [RTOMin, RTOMax]) doubled per unanswered
+// retransmission burst (Karn backoff, capped at RTOMax).
+func (s *Sender) timeoutFor(d *destState) time.Duration {
+	if !s.cfg.Adaptive {
+		return s.cfg.Interval
+	}
+	to := s.cfg.Interval
+	if d.hasRTT {
+		to = time.Duration(d.srtt + 4*d.rttvar)
+		if to < s.cfg.RTOMin {
+			to = s.cfg.RTOMin
+		}
+	}
+	for i := uint(0); i < d.backoff && to < s.cfg.RTOMax; i++ {
+		to *= 2
+	}
+	if to > s.cfg.RTOMax {
+		to = s.cfg.RTOMax
+	}
+	return to
+}
+
+// TimeoutFor exposes the timeout in force for dst (Interval when the
+// destination is unknown) — diagnostics and tests.
+func (s *Sender) TimeoutFor(dst topology.NodeID) time.Duration {
+	if d := s.dests[dst]; d != nil {
+		return s.timeoutFor(d)
+	}
+	return s.cfg.Interval
+}
+
+// NextDeadline returns the earliest instant at which any destination's
+// timeout can expire: min over eligible queue heads of LastSent +
+// timeoutFor. ok is false when nothing is awaiting a timeout (all queues
+// empty, unsent, or in flight). The NIC's adaptive timer uses it to
+// schedule the next scan at the deadline instead of a fixed period, which
+// removes the up-to-one-period detection blind spot of a free-running
+// scan.
+func (s *Sender) NextDeadline() (deadline sim.Time, ok bool) {
+	for _, d := range s.dests {
+		if len(d.queue) == 0 || d.unreachable {
+			continue
+		}
+		head := d.queue[0]
+		if !head.Sent || head.InFlight > 0 {
+			continue
+		}
+		dl := head.LastSent.Add(s.timeoutFor(d))
+		if !ok || dl < deadline {
+			deadline, ok = dl, true
+		}
+	}
+	return deadline, ok
 }
 
 // Batch is a go-back-N retransmission order for one destination: resend
@@ -270,8 +400,19 @@ type Batch struct {
 	Dst     topology.NodeID
 	Entries []*Entry
 	// Oldest is how long the head entry had gone without (re)transmission
-	// when the timer fired — the timeout detection latency for this burst.
+	// when the timer fired — the true timeout-detection latency for this
+	// burst: the timeout in force plus however long the head sat eligible
+	// waiting for the next scan.
 	Oldest time.Duration
+	// Timeout is the threshold that was in force for this destination
+	// when the burst was detected (Interval, or the adaptive RTO).
+	Timeout time.Duration
+	// Waited is the scan-quantization component of Oldest: how long the
+	// head had already been PAST its timeout when the scan found it
+	// (Oldest − Timeout). A burst becoming eligible just after a tick
+	// waits up to a full scan period here — the detection blind spot the
+	// adaptive deadline-driven timer closes.
+	Waited time.Duration
 }
 
 // Tick runs the single periodic retransmission timer: for every
@@ -290,7 +431,8 @@ func (s *Sender) Tick(now sim.Time) []Batch {
 		}
 		head := d.queue[0]
 		age := now.Sub(head.LastSent)
-		if !head.Sent || head.InFlight > 0 || age < s.cfg.Interval {
+		timeout := s.timeoutFor(d)
+		if !head.Sent || head.InFlight > 0 || age < timeout {
 			continue
 		}
 		var batch []*Entry
@@ -305,7 +447,15 @@ func (s *Sender) Tick(now sim.Time) []Batch {
 		if len(batch) > 0 {
 			s.RetransBursts++
 			s.RetransPkts += uint64(len(batch))
-			out = append(out, Batch{Dst: dst, Entries: batch, Oldest: age})
+			if s.cfg.Adaptive && d.backoff < 16 {
+				// Karn backoff: each unanswered burst doubles the next
+				// timeout until a fresh sample arrives.
+				d.backoff++
+			}
+			out = append(out, Batch{
+				Dst: dst, Entries: batch,
+				Oldest: age, Timeout: timeout, Waited: age - timeout,
+			})
 		}
 	}
 	return out
@@ -371,6 +521,10 @@ func (s *Sender) ResetGeneration(dst topology.NodeID, now sim.Time) []*Entry {
 	d.lastProgress = now
 	d.sinceAckReq = 0
 	d.unreachable = false
+	// The remap installed a different physical path: keep the smoothed
+	// RTT as a prior but drop the Karn backoff so the first timeout on
+	// the new path is not inflated by the old path's failures.
+	d.backoff = 0
 	for i, e := range d.queue {
 		e.Gen = d.gen
 		e.Seq = uint64(i)

@@ -95,6 +95,14 @@ const (
 	EvFabDrop
 	// EvDeliver: a packet's tail fully arrived at the destination host.
 	EvDeliver
+	// EvLiveUp: a liveness session completed its three-way handshake
+	// (the path to Peer is confirmed bidirectional).
+	EvLiveUp
+	// EvLiveDown: a liveness session dropped — detection timeout expired
+	// or the peer advertised Down. Seq carries the detection latency in
+	// nanoseconds when the local detector fired (0 for peer-advertised
+	// drops).
+	EvLiveDown
 
 	// numKinds counts the Ev* constants; keep it last.
 	numKinds
@@ -105,7 +113,8 @@ var kindNames = [...]string{
 	"ooo-drop", "crc-drop", "ack-tx", "ack-rx", "gen-reset", "unreachable",
 	"remap-start", "remap-defer", "quarantine", "remap-done", "path-stale",
 	"no-route", "host-send", "msg-complete", "link-block", "link-acquire",
-	"link-release", "watchdog", "fab-drop", "deliver",
+	"link-release", "watchdog", "fab-drop", "deliver", "live-up",
+	"live-down",
 }
 
 // Compile-time guard: adding a Kind without extending kindNames (or the

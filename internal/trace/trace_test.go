@@ -71,6 +71,9 @@ func TestKindStrings(t *testing.T) {
 	if EvSend.String() != "send" || EvUnreachable.String() != "unreachable" {
 		t.Fatal("kind names wrong")
 	}
+	if EvLiveUp.String() != "live-up" || EvLiveDown.String() != "live-down" {
+		t.Fatal("liveness kind names wrong")
+	}
 	if Kind(99).String() != "unknown" {
 		t.Fatal("unknown kind")
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"sanft/internal/core"
+	"sanft/internal/liveness"
 	"sanft/internal/mapping"
 	"sanft/internal/metrics"
 	"sanft/internal/report"
@@ -28,6 +29,9 @@ type (
 	// MapperConfig holds on-demand mapper tunables (probe timeout, BFS
 	// bounds).
 	MapperConfig = mapping.Config
+	// LivenessConfig holds per-path liveness session timer terms
+	// (desired/required intervals, detection multiplier, jitter).
+	LivenessConfig = liveness.Config
 	// RemapPolicy paces the recovery path (backoff, quarantine).
 	RemapPolicy = core.RemapPolicy
 
@@ -114,6 +118,33 @@ func WithMapper(cfg ...MapperConfig) Option {
 			c.MapperCfg = cfg[0]
 		}
 	}
+}
+
+// WithLiveness runs a BFD-style liveness session on every routed path
+// (requires fault tolerance): a dead path is declared down after
+// detect-multiplier × negotiated-interval of control silence — typically
+// well before the fixed permanent-failure threshold — and the
+// session-down event triggers the same remap/quarantine recovery as a
+// stale path. An optional LivenessConfig overrides the timer terms; zero
+// fields take RFC 5880-style defaults (1ms interval, multiplier 3).
+func WithLiveness(cfg ...LivenessConfig) Option {
+	return func(c *Config) {
+		lc := LivenessConfig{}
+		if len(cfg) > 0 {
+			lc = cfg[0]
+		}
+		c.Liveness = &lc
+	}
+}
+
+// WithAdaptiveRetrans switches the retransmission timeout from the
+// paper's fixed interval to an RTT-adaptive one: liveness RTT samples
+// (and unambiguous ack timings) drive a Jacobson/Karn SRTT/RTTVAR
+// estimator per destination, with exponential backoff while a path is
+// unresponsive. Best combined with WithLiveness, which supplies steady
+// RTT samples even when data traffic is idle.
+func WithAdaptiveRetrans() Option {
+	return func(c *Config) { c.Retrans.Adaptive = true }
 }
 
 // WithRemapPolicy tunes recovery pacing (backoff, quarantine).

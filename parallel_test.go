@@ -38,10 +38,10 @@ func gateFlows(f *topology.Fig2) []Flow {
 // — with the given worker count, and renders every observable output:
 // merged delivery order, metrics summary + JSONL, Perfetto export, and
 // each shard's post-run RNG state.
-func gateDump(t testing.TB, seed int64, workers int) []byte {
+func gateDump(t testing.TB, seed int64, workers int, extra ...Option) []byte {
 	t.Helper()
 	f := NewFig2()
-	s := NewSharded(
+	opts := []Option{
 		WithTopology(f.Net, nil),
 		WithSeed(seed),
 		WithFaultTolerance(RetransConfig{
@@ -50,7 +50,8 @@ func gateDump(t testing.TB, seed int64, workers int) []byte {
 			PermFailThreshold: 50 * time.Millisecond,
 		}),
 		WithShards(workers),
-	)
+	}
+	s := NewSharded(append(opts, extra...)...)
 	// Flap two distinct trunks while traffic is in flight: packets die on
 	// dead links mid-run and the retransmission protocol recovers them.
 	s.FlapTrunk(0, 2*time.Millisecond, 3*time.Millisecond)
@@ -96,6 +97,35 @@ func TestParallelByteIdentical(t *testing.T) {
 	other := gateDump(t, 8, 1)
 	if bytes.Equal(ref, other) {
 		t.Fatal("different seeds produced identical dumps — dump is not sensitive to the run")
+	}
+}
+
+// TestParallelByteIdenticalLiveness re-runs the differential gate with
+// per-path liveness sessions and adaptive retransmission enabled: session
+// timers, jittered control traffic, and RTT observations all draw from
+// session-local RNGs seeded from (cluster seed, src, dst) — never from a
+// shard or worker — so the observable dump must stay byte-identical at
+// any worker count. It must also differ from the baseline dump (the
+// sessions must actually run) and stay seed-sensitive.
+func TestParallelByteIdenticalLiveness(t *testing.T) {
+	live := []Option{WithLiveness(), WithAdaptiveRetrans()}
+	ref := gateDump(t, 7, 1, live...)
+	for _, w := range []int{2, 4} {
+		got := gateDump(t, 7, w, live...)
+		if !bytes.Equal(ref, got) {
+			diffLine := firstDiffLine(ref, got)
+			t.Fatalf("liveness workers=%d output differs from workers=1 (first differing line %d):\n  seq: %s\n  par: %s",
+				w, diffLine.n, diffLine.a, diffLine.b)
+		}
+	}
+	if !bytes.Contains(ref, []byte("liveness.tx")) {
+		t.Fatal("liveness gate dump records no liveness.tx metric — sessions never ran")
+	}
+	if bytes.Equal(ref, gateDump(t, 7, 1)) {
+		t.Fatal("liveness dump identical to baseline dump — options had no effect")
+	}
+	if bytes.Equal(ref, gateDump(t, 8, 1, live...)) {
+		t.Fatal("different seeds produced identical liveness dumps")
 	}
 }
 

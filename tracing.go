@@ -41,6 +41,10 @@ type TraceSetup struct {
 	// Campaign, if set, runs the named chaos campaign (see internal/chaos)
 	// with the flight recorder attached, instead of the workload above.
 	Campaign string
+	// Liveness enables per-path liveness sessions plus adaptive
+	// retransmission for the traced run (campaign or workload), so
+	// live-up/live-down events appear in the timeline.
+	Liveness bool
 }
 
 func (ts TraceSetup) defaults() TraceSetup {
@@ -113,7 +117,11 @@ func RunTraced(ts TraceSetup) (*TraceResult, error) {
 	res := &TraceResult{Setup: ts, Recorder: fr}
 	notes := make(map[TraceSpanKey]Notification)
 	if ts.Campaign != "" {
-		camp, ok := chaos.Find(ts.Campaign)
+		v := chaos.Baseline()
+		if ts.Liveness {
+			v = chaos.AdaptiveLiveness()
+		}
+		camp, ok := chaos.FindWith(ts.Campaign, v)
 		if !ok {
 			return nil, fmt.Errorf("sanft: unknown chaos campaign %q", ts.Campaign)
 		}
@@ -121,13 +129,17 @@ func RunTraced(ts TraceSetup) (*TraceResult, error) {
 			c.InstallTracer(fr)
 		})
 	} else {
-		c := New(
+		opts := []Option{
 			WithStar(ts.Hosts),
 			WithFaultTolerance(DefaultParams()),
 			WithErrorRate(ts.ErrorRate),
 			WithSeed(ts.Seed),
 			WithFlightRecorder(fr),
-		)
+		}
+		if ts.Liveness {
+			opts = append(opts, WithLiveness(), WithAdaptiveRetrans())
+		}
+		c := New(opts...)
 		runTraceWorkload(c, ts, notes)
 	}
 	res.Events = fr.Ring().Events()
