@@ -32,12 +32,18 @@ func main() {
 	extensions := flag.Bool("extensions", false, "run the extension experiments (route quality, burst errors, state scaling, VI reliability levels)")
 	parallel := flag.Bool("parallel", false, "measure parallel engine + campaign pool scaling at 1/2/4/8 workers")
 	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "output path for the -parallel scaling report")
+	short := flag.Bool("short", false, "trim the -parallel workload for CI smoke runs (workers 1/2, fewer cases)")
+	date := flag.String("date", "", "run date stamped into the -parallel report (default: now, RFC 3339 UTC)")
 	asJSON := flag.Bool("json", false, "emit extension reports as JSON (with -extensions)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
 	if *parallel {
-		runParallelBench(*seed, *parallelOut)
+		when := *date
+		if when == "" {
+			when = time.Now().UTC().Format(time.RFC3339)
+		}
+		runParallelBench(*seed, *parallelOut, when, *short)
 		return
 	}
 

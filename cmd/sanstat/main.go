@@ -96,7 +96,7 @@ func runCampaign(name string, seed int64, every time.Duration, liveness bool) *s
 func runWorkload(hosts int, rate float64, msgs int, seed int64, every time.Duration, liveness bool) *sanft.Observer {
 	opts := []sanft.Option{
 		sanft.WithStar(hosts),
-		sanft.WithFaultTolerance(sanft.DefaultParams()),
+		sanft.WithFaultTolerance(),
 		sanft.WithErrorRate(rate),
 		sanft.WithSeed(seed),
 		sanft.WithSampling(every),

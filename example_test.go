@@ -14,7 +14,7 @@ import (
 func ExampleNew() {
 	cluster := sanft.New(
 		sanft.WithStar(2),
-		sanft.WithFaultTolerance(sanft.DefaultParams()),
+		sanft.WithFaultTolerance(),
 		sanft.WithErrorRate(0.25), // one packet in four vanishes before the wire
 	)
 	inbox := cluster.EndpointAt(1).Export("inbox", 4096)

@@ -19,7 +19,8 @@ func main() {
 	rc.PermFailThreshold = 10 * time.Millisecond // fast classification for the demo
 	cluster := sanft.New(
 		sanft.WithTopology(nw, hosts),
-		sanft.WithFaultTolerance(rc),
+		sanft.WithRetrans(rc),
+		sanft.WithFaultTolerance(),
 		sanft.WithMapper(), // wire the on-demand mapper to the stale-path detector
 		sanft.WithSeed(7),
 	)

@@ -17,7 +17,7 @@ func main() {
 	// sending NIC before reaching the wire.
 	cluster := sanft.New(
 		sanft.WithStar(2),
-		sanft.WithFaultTolerance(sanft.DefaultParams()),
+		sanft.WithFaultTolerance(),
 		sanft.WithErrorRate(0.03),
 		sanft.WithSeed(42),
 	)

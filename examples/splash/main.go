@@ -19,7 +19,7 @@ func main() {
 	for _, rate := range []float64{0, 1e-2} {
 		cluster := sanft.New(
 			sanft.WithStar(4),
-			sanft.WithFaultTolerance(sanft.DefaultParams()),
+			sanft.WithFaultTolerance(),
 			sanft.WithErrorRate(rate),
 		)
 		var res sanft.AppResult

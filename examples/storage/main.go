@@ -29,7 +29,7 @@ const (
 func main() {
 	cluster := sanft.New(
 		sanft.WithStar(numServers+1),
-		sanft.WithFaultTolerance(sanft.DefaultParams()),
+		sanft.WithFaultTolerance(),
 		sanft.WithErrorRate(0.05), // the storm: 1 in 20 packets silently dropped
 		sanft.WithSeed(99),
 	)

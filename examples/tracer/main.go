@@ -16,7 +16,7 @@ func main() {
 	ring := sanft.NewTraceRing(256)
 	cluster := sanft.New(
 		sanft.WithStar(2),
-		sanft.WithFaultTolerance(sanft.DefaultParams()),
+		sanft.WithFaultTolerance(),
 		sanft.WithErrorRate(0.1), // heavy loss so the trace shows recovery quickly
 		sanft.WithSeed(3),
 	)

@@ -14,6 +14,7 @@ import (
 	"sanft/internal/mapping"
 	"sanft/internal/metrics"
 	"sanft/internal/nic"
+	"sanft/internal/parsim"
 	"sanft/internal/retrans"
 	"sanft/internal/routing"
 	"sanft/internal/sim"
@@ -21,6 +22,49 @@ import (
 	"sanft/internal/trace"
 	"sanft/internal/vmmc"
 )
+
+// EngineKind selects the execution engine a Cluster runs on.
+type EngineKind int
+
+const (
+	// EngineSequential is the default: one kernel drives every host, with
+	// full observability (endpoints, mappers, cluster-wide tracer).
+	EngineSequential EngineKind = iota
+	// EngineSharded partitions the hosts into shard cells driven by the
+	// conservative parallel engine. The partition — not the worker
+	// count — defines the semantics: results are byte-identical for any
+	// number of workers.
+	EngineSharded
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EngineSequential:
+		return "sequential"
+	case EngineSharded:
+		return "sharded"
+	}
+	return "unknown"
+}
+
+// ShardPlan describes how EngineSharded partitions hosts into shards
+// (cells). The plan is part of the experiment's identity: changing it
+// changes which traffic crosses epoch barriers, so differential gates
+// must pin it. The zero plan is one host per shard — the finest
+// partition, and the one that matches the sequential engine host-for-host.
+type ShardPlan struct {
+	// HostsPerShard, when > 0, chunks the host list in order into groups
+	// of this size (last group may be smaller). Coarser shards shorten
+	// the per-epoch fixed cost and keep intra-group traffic off the
+	// barrier path at the price of less available parallelism.
+	HostsPerShard int
+	// Groups, when non-empty, is an explicit partition and overrides
+	// HostsPerShard. Every host must appear in exactly one group.
+	Groups [][]topology.NodeID
+}
+
+// zero reports whether the plan is the default one-host-per-shard plan.
+func (p ShardPlan) zero() bool { return p.HostsPerShard == 0 && len(p.Groups) == 0 }
 
 // Config describes a cluster build.
 type Config struct {
@@ -34,7 +78,9 @@ type Config struct {
 	FT bool
 	// Retrans holds protocol parameters (queue size q, timer interval T,
 	// permanent-failure threshold, ...). Zero fields take the paper's
-	// best-compromise defaults.
+	// best-compromise defaults. The queue size also bounds the send
+	// buffer pool when FT is off — provisioning is independent of
+	// whether the protocol consumes acknowledgments.
 	Retrans retrans.Config
 	// ErrorRate is the paper's send-side injected drop rate (e.g. 1e-3);
 	// each NIC gets its own deterministic dropper. Zero means no errors.
@@ -54,7 +100,8 @@ type Config struct {
 	Fabric fabric.Config
 
 	// Mapper enables on-demand mapping: stale paths and missing routes
-	// trigger a background remap exactly as §4.2 describes. Requires FT.
+	// trigger a background remap exactly as §4.2 describes. Requires FT,
+	// and the sequential engine.
 	Mapper    bool
 	MapperCfg mapping.Config
 
@@ -75,26 +122,55 @@ type Config struct {
 	// Tracer, if non-nil, receives every trace event from every layer:
 	// NIC protocol actions, fabric hop events, VMMC message lifecycle,
 	// and remap lifecycle. Typically a *trace.Ring or *trace.FlightRecorder.
+	// Sequential engine only; the sharded engine traces into per-shard
+	// rings (see TraceEvents).
 	Tracer trace.Tracer
 
 	// Seed drives all deterministic randomness.
 	Seed int64
 
-	// Shards is the worker count for sharded parallel execution
-	// (NewSharded): how many OS threads drive the per-host shard kernels.
-	// The logical partition is always one shard per host, so any value —
-	// including the default 0 (= GOMAXPROCS) — produces byte-identical
-	// results; Shards only changes wall-clock time. Ignored by New.
+	// Engine selects the execution engine; a non-zero Plan implies
+	// EngineSharded.
+	Engine EngineKind
+	// Plan partitions hosts into shards under EngineSharded (zero = one
+	// host per shard).
+	Plan ShardPlan
+	// Workers is the OS-thread count driving the shard kernels under
+	// EngineSharded. Results are byte-identical for any value — the
+	// partition defines the semantics — so Workers (default 0 =
+	// GOMAXPROCS) only changes wall-clock time. Ignored by the
+	// sequential engine.
+	Workers int
+
+	// Shards is the historical name for Workers.
+	//
+	// Deprecated: set Workers (and Engine/Plan). Read only when Workers
+	// is zero.
 	Shards int
 }
 
-// Cluster is a fully wired simulation instance.
+// Cluster is a fully wired simulation instance, on either engine.
+//
+// Sequential engine: K, Fab and Dir are live; every per-host accessor
+// (Endpoint, Mapper, Observer, ...) works.
+//
+// Sharded engine: K, Fab and Dir are nil — hosts live in per-shard cells
+// with private kernels and fabric replicas, and the cross-engine subset
+// of the API (NIC, RunFor, Stop, Now) plus the sharded-only methods
+// (StartFlows, Deliveries, MergedObserver, DumpObservables, ...) apply.
+// Methods that would need a single cluster-wide kernel panic with a
+// pointer to the replacement.
 type Cluster struct {
 	K     *sim.Kernel
 	Net   *topology.Network
 	Fab   *fabric.Fabric
 	Hosts []topology.NodeID
 	Dir   *vmmc.Directory
+
+	// Lookahead is the conservative epoch window of the sharded engine:
+	// the minimum cross-shard fabric traversal time. Zero on the
+	// sequential engine.
+	Lookahead time.Duration
 
 	nics    map[topology.NodeID]*nic.NIC
 	eps     map[topology.NodeID]*vmmc.Endpoint
@@ -105,6 +181,12 @@ type Cluster struct {
 	obs           *metrics.Observer
 	tracer        trace.Tracer
 
+	// Sharded-engine state (nil/empty on the sequential engine).
+	cfg    Config
+	cells  []*cell
+	byHost map[topology.NodeID]int
+	eng    *parsim.Engine
+
 	// Remaps counts completed on-demand remap operations.
 	Remaps int
 	// Unreachables counts remaps that ended in an unreachable verdict.
@@ -114,9 +196,20 @@ type Cluster struct {
 	RemapStats RemapStats
 }
 
-// New builds a cluster. All routes between host pairs are pre-installed
-// (shortest paths), as a freshly mapped system would have them.
+// New builds a cluster on the engine cfg selects: the sequential
+// single-kernel engine by default, or the conservative parallel engine
+// when cfg.Engine is EngineSharded or cfg.Plan is non-zero. All routes
+// between host pairs are pre-installed (shortest paths), as a freshly
+// mapped system would have them.
 func New(cfg Config) *Cluster {
+	if cfg.Engine == EngineSharded || !cfg.Plan.zero() {
+		cfg.Engine = EngineSharded
+		return newSharded(cfg)
+	}
+	return newSequential(cfg)
+}
+
+func newSequential(cfg Config) *Cluster {
 	if cfg.Net == nil {
 		n := cfg.NumHosts
 		if n == 0 {
@@ -216,21 +309,46 @@ func New(cfg Config) *Cluster {
 	return c
 }
 
+// Sharded reports whether the cluster runs on the sharded engine.
+func (c *Cluster) Sharded() bool { return c.eng != nil }
+
+func (c *Cluster) mustSequential(method string) {
+	if c.eng != nil {
+		panic("core: " + method + " is sequential-engine only; this cluster runs EngineSharded")
+	}
+}
+
+func (c *Cluster) mustSharded(method string) {
+	if c.eng == nil {
+		panic("core: " + method + " requires EngineSharded (build with Config.Engine or WithEngine/WithShardPlan)")
+	}
+}
+
 // Observer returns the cluster's observability handle: its registry is
 // the single place every subsystem (NIC, fabric, retransmission protocol,
 // mapper, remap manager) records into, and its exporters render the
-// collected telemetry.
-func (c *Cluster) Observer() *metrics.Observer { return c.obs }
+// collected telemetry. Sequential engine only — shard registries are
+// per-cell; use MergedObserver.
+func (c *Cluster) Observer() *metrics.Observer {
+	c.mustSequential("Observer (use MergedObserver)")
+	return c.obs
+}
 
 // Metrics returns the cluster-wide metrics registry (shorthand for
-// Observer().Registry()).
-func (c *Cluster) Metrics() *metrics.Registry { return c.obs.Registry() }
+// Observer().Registry()). Sequential engine only.
+func (c *Cluster) Metrics() *metrics.Registry {
+	c.mustSequential("Metrics (use MergedObserver)")
+	return c.obs.Registry()
+}
 
 // InstallTracer wires tr into every layer of an already-built cluster —
 // each NIC and the fabric — and remembers it for Tracer()/FlightRecorder().
 // Chaos campaigns use this to attach a tracer between cluster construction
 // and traffic start; nil removes the current tracer everywhere.
+// Sequential engine only — shard cells trace into private rings (see
+// TraceEvents).
 func (c *Cluster) InstallTracer(tr trace.Tracer) {
+	c.mustSequential("InstallTracer (sharded clusters trace into per-shard rings)")
 	c.tracer = tr
 	c.Fab.SetTracer(tr)
 	for _, n := range c.nics {
@@ -238,7 +356,8 @@ func (c *Cluster) InstallTracer(tr trace.Tracer) {
 	}
 }
 
-// Tracer returns the cluster-wide tracer (nil if tracing is off).
+// Tracer returns the cluster-wide tracer (nil if tracing is off, and
+// always nil on the sharded engine).
 func (c *Cluster) Tracer() trace.Tracer { return c.tracer }
 
 // FlightRecorder returns the cluster tracer as a flight recorder, or nil
@@ -248,11 +367,23 @@ func (c *Cluster) FlightRecorder() *trace.FlightRecorder {
 	return fr
 }
 
-// NIC returns the NIC of host h.
-func (c *Cluster) NIC(h topology.NodeID) *nic.NIC { return c.nics[h] }
+// NIC returns the NIC of host h (works on both engines).
+func (c *Cluster) NIC(h topology.NodeID) *nic.NIC {
+	if c.eng != nil {
+		i, ok := c.byHost[h]
+		if !ok {
+			return nil
+		}
+		return c.cells[i].nics[h]
+	}
+	return c.nics[h]
+}
 
-// Endpoint returns the VMMC endpoint of host h.
-func (c *Cluster) Endpoint(h topology.NodeID) *vmmc.Endpoint { return c.eps[h] }
+// Endpoint returns the VMMC endpoint of host h. Sequential engine only.
+func (c *Cluster) Endpoint(h topology.NodeID) *vmmc.Endpoint {
+	c.mustSequential("Endpoint")
+	return c.eps[h]
+}
 
 // Mapper returns the on-demand mapper of host h (nil if mapping disabled).
 func (c *Cluster) Mapper(h topology.NodeID) *mapping.Mapper { return c.mappers[h] }
@@ -280,26 +411,54 @@ func (c *Cluster) RemapInFlight() (running, armed int) {
 // Host returns the i-th host's node ID.
 func (c *Cluster) Host(i int) topology.NodeID { return c.Hosts[i] }
 
-// EndpointAt returns the i-th host's endpoint.
-func (c *Cluster) EndpointAt(i int) *vmmc.Endpoint { return c.eps[c.Hosts[i]] }
+// EndpointAt returns the i-th host's endpoint. Sequential engine only.
+func (c *Cluster) EndpointAt(i int) *vmmc.Endpoint {
+	c.mustSequential("EndpointAt")
+	return c.eps[c.Hosts[i]]
+}
 
-// NICAt returns the i-th host's NIC.
-func (c *Cluster) NICAt(i int) *nic.NIC { return c.nics[c.Hosts[i]] }
+// NICAt returns the i-th host's NIC (works on both engines).
+func (c *Cluster) NICAt(i int) *nic.NIC { return c.NIC(c.Hosts[i]) }
 
-// RunFor advances the whole simulation by d, then stops the kernel
+// RunFor advances the whole simulation by d, then stops the kernel(s)
 // (terminating any still-parked processes). Use for bounded experiments.
 func (c *Cluster) RunFor(d time.Duration) {
+	if c.eng != nil {
+		c.eng.RunFor(d)
+		return
+	}
 	c.K.RunFor(d)
 }
 
-// Stop terminates the simulation and all its processes.
-func (c *Cluster) Stop() { c.K.Stop() }
+// Stop terminates the simulation and all its processes. On the sharded
+// engine this also shuts the worker pool down; the cluster can still be
+// inspected (Deliveries, DumpObservables, ...) but not resumed.
+func (c *Cluster) Stop() {
+	if c.eng != nil {
+		for _, cl := range c.cells {
+			cl.k.Stop()
+		}
+		c.eng.Shutdown()
+		return
+	}
+	c.K.Stop()
+}
 
 // StopSoon schedules a stop at the current instant; safe to call from
 // process context (the stop executes once control returns to the kernel).
 // Benchmarks call it when their workload completes so the run does not
-// idle through periodic timer events until its time bound.
-func (c *Cluster) StopSoon() { c.K.Immediately(func() { c.K.Stop() }) }
+// idle through periodic timer events until its time bound. Sequential
+// engine only.
+func (c *Cluster) StopSoon() {
+	c.mustSequential("StopSoon")
+	c.K.Immediately(func() { c.K.Stop() })
+}
 
-// Now returns the current simulated time.
-func (c *Cluster) Now() sim.Time { return c.K.Now() }
+// Now returns the current simulated time: the kernel clock, or the time
+// frontier all shards have reached.
+func (c *Cluster) Now() sim.Time {
+	if c.eng != nil {
+		return c.eng.Now()
+	}
+	return c.K.Now()
+}

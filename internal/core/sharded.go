@@ -23,19 +23,21 @@ import (
 // every worker count.
 const shardTraceCap = 8192
 
-// cell is one shard of a sharded cluster: a host, its NIC, a private
-// kernel, and private replicas of everything the host's protocol stack
-// touches — topology, fabric (pipe mode), metrics registry, trace ring.
-// Nothing in a cell is reachable from another cell except through the
-// engine's epoch-barrier exchange.
+// cell is one shard of a sharded cluster: a group of hosts with their
+// NICs, a private kernel, and private replicas of everything the group's
+// protocol stacks touch — topology, fabric (pipe mode), metrics registry,
+// trace ring. Nothing in a cell is reachable from another cell except
+// through the engine's epoch-barrier exchange; traffic between hosts of
+// the same cell delivers directly through the cell's pipe, exactly as the
+// sequential engine would, with no clone and no barrier.
 type cell struct {
-	host topology.NodeID
-	k    *sim.Kernel
-	nw   *topology.Network
-	pipe *fabric.Pipe
-	nic  *nic.NIC
-	obs  *metrics.Observer
-	ring *trace.Ring
+	hosts []topology.NodeID
+	k     *sim.Kernel
+	nw    *topology.Network
+	pipe  *fabric.Pipe
+	nics  map[topology.NodeID]*nic.NIC
+	obs   *metrics.Observer
+	ring  *trace.Ring
 
 	deliveries []Delivery
 }
@@ -61,32 +63,70 @@ type Flow struct {
 	Src, Dst topology.NodeID
 }
 
-// ShardedCluster runs one simulation partitioned into per-host shards
-// under the conservative parallel engine (internal/parsim). The partition
-// is fixed — one shard per host — and only cfg.Shards (the worker count)
-// varies, so every observable output is byte-identical across worker
-// counts by construction.
+// ShardedCluster is the historical name for a Cluster built with
+// EngineSharded; the two have been one type since the constructors were
+// unified.
 //
-// Sharded mode swaps the wormhole fabric for the contention-decoupled
-// fabric.Pipe (see its doc comment for the model and why wormhole
-// backpressure cannot be sharded conservatively) and drives traffic at
-// the NIC frame level. VMMC endpoints and on-demand mapping read remote
-// state synchronously and are not yet supported here.
-type ShardedCluster struct {
-	Hosts     []topology.NodeID
-	Lookahead time.Duration
-
-	cfg    Config
-	cells  []*cell
-	byHost map[topology.NodeID]int
-	eng    *parsim.Engine
-}
+// Deprecated: use Cluster (New with Config.Engine = EngineSharded, or the
+// root package's WithEngine/WithShardPlan options).
+type ShardedCluster = Cluster
 
 // NewSharded builds a sharded cluster from the same Config as New.
-// cfg.Shards sets the worker count (0 = GOMAXPROCS). Each shard's kernel
-// is seeded parsim.ShardSeed(cfg.Seed, shardIndex); per-NIC droppers use
-// the same per-host derivation as New.
-func NewSharded(cfg Config) *ShardedCluster {
+//
+// Deprecated: set cfg.Engine = EngineSharded and call New.
+func NewSharded(cfg Config) *Cluster {
+	cfg.Engine = EngineSharded
+	return New(cfg)
+}
+
+// planGroups resolves a ShardPlan against the host list: explicit groups
+// are validated (every host exactly once, no strangers), HostsPerShard
+// chunks the hosts in order, and the zero plan is one host per shard.
+func planGroups(plan ShardPlan, hosts []topology.NodeID) [][]topology.NodeID {
+	if len(plan.Groups) > 0 {
+		seen := make(map[topology.NodeID]bool)
+		for _, g := range plan.Groups {
+			if len(g) == 0 {
+				panic("core: shard plan contains an empty group")
+			}
+			for _, h := range g {
+				if seen[h] {
+					panic(fmt.Sprintf("core: shard plan lists host %d twice", h))
+				}
+				seen[h] = true
+			}
+		}
+		for _, h := range hosts {
+			if !seen[h] {
+				panic(fmt.Sprintf("core: shard plan does not cover host %d", h))
+			}
+		}
+		if len(seen) != len(hosts) {
+			panic("core: shard plan names nodes outside the cluster's host list")
+		}
+		return plan.Groups
+	}
+	k := plan.HostsPerShard
+	if k <= 0 {
+		k = 1
+	}
+	var groups [][]topology.NodeID
+	for i := 0; i < len(hosts); i += k {
+		j := i + k
+		if j > len(hosts) {
+			j = len(hosts)
+		}
+		groups = append(groups, hosts[i:j])
+	}
+	return groups
+}
+
+// newSharded builds the sharded half of New: per-shard kernels under the
+// conservative parallel engine. Each shard's kernel is seeded
+// parsim.ShardSeed(cfg.Seed, shardIndex); per-NIC droppers use the same
+// per-host derivation as the sequential engine, so shard membership never
+// changes a host's drop schedule.
+func newSharded(cfg Config) *Cluster {
 	if cfg.Mapper {
 		panic("core: sharded execution does not support on-demand mapping yet")
 	}
@@ -107,22 +147,31 @@ func NewSharded(cfg Config) *ShardedCluster {
 		cfg.Fabric = fabric.DefaultConfig()
 	}
 	if cfg.Liveness != nil {
-		// Same seed folding as New: the derived base depends only on the
-		// cluster seed, never the shard, so results stay byte-identical
-		// across worker counts.
+		// Same seed folding as the sequential engine: the derived base
+		// depends only on the cluster seed, never the shard, so results
+		// stay byte-identical across worker counts.
 		lc := *cfg.Liveness
 		lc.Seed = lc.Seed*1000003 + cfg.Seed
 		cfg.Liveness = &lc
 	}
+	groups := planGroups(cfg.Plan, cfg.Hosts)
+	if len(groups) < 2 {
+		panic("core: shard plan must create at least two shards")
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = cfg.Shards
+	}
 
-	s := &ShardedCluster{
+	s := &Cluster{
+		Net:       cfg.Net,
 		Hosts:     cfg.Hosts,
-		Lookahead: cfg.Fabric.MinCrossLatency(minHostHops(cfg.Net, cfg.Hosts)),
+		Lookahead: cfg.Fabric.MinCrossLatency(minCrossHops(cfg.Net, groups)),
 		cfg:       cfg,
 		byHost:    make(map[topology.NodeID]int, len(cfg.Hosts)),
 	}
-	shards := make([]parsim.Shard, len(cfg.Hosts))
-	for i, h := range cfg.Hosts {
+	shards := make([]parsim.Shard, len(groups))
+	for i, g := range groups {
 		k := sim.New(parsim.ShardSeed(cfg.Seed, i))
 		obs := metrics.NewObserver(cfg.Metrics)
 		nw := cfg.Net.Clone()
@@ -130,44 +179,56 @@ func NewSharded(cfg Config) *ShardedCluster {
 		pipe.BindMetrics(obs.Registry())
 		ring := trace.NewRing(shardTraceCap)
 		pipe.SetTracer(ring)
-		var dropper fault.Dropper
-		if cfg.ErrorRate > 0 {
-			dropper = fault.NewRateSeeded(cfg.ErrorRate, cfg.Seed*1000003+int64(h)*7919+12289)
+		c := &cell{
+			hosts: g, k: k, nw: nw, pipe: pipe, obs: obs, ring: ring,
+			nics: make(map[topology.NodeID]*nic.NIC, len(g)),
 		}
-		c := &cell{host: h, k: k, nw: nw, pipe: pipe, obs: obs, ring: ring}
-		c.nic = nic.New(k, pipe, h, nic.Options{
-			FT:       cfg.FT,
-			Retrans:  cfg.Retrans,
-			Cost:     cfg.Cost,
-			Dropper:  dropper,
-			Tracer:   ring,
-			Metrics:  obs.Registry(),
-			Liveness: cfg.Liveness,
-		})
-		c.nic.SetOnDeliver(func(f *proto.Frame) {
-			c.deliveries = append(c.deliveries, Delivery{
-				At: k.Now(), Src: f.Src, Dst: h, Msg: msgID(f), Gen: f.Gen, Seq: f.Seq,
+		for _, h := range g {
+			var dropper fault.Dropper
+			if cfg.ErrorRate > 0 {
+				dropper = fault.NewRateSeeded(cfg.ErrorRate, cfg.Seed*1000003+int64(h)*7919+12289)
+			}
+			host := h
+			n := nic.New(k, pipe, h, nic.Options{
+				FT:       cfg.FT,
+				Retrans:  cfg.Retrans,
+				Cost:     cfg.Cost,
+				Dropper:  dropper,
+				Tracer:   ring,
+				Metrics:  obs.Registry(),
+				Liveness: cfg.Liveness,
 			})
-		})
+			n.SetOnDeliver(func(f *proto.Frame) {
+				c.deliveries = append(c.deliveries, Delivery{
+					At: k.Now(), Src: f.Src, Dst: host, Msg: msgID(f), Gen: f.Gen, Seq: f.Seq,
+				})
+			})
+			c.nics[h] = n
+			s.byHost[h] = i
+		}
 		s.cells = append(s.cells, c)
-		s.byHost[h] = i
 		shards[i] = c
 	}
-	// Pre-install shortest routes, as New does — each NIC only needs
-	// routes from its own host.
-	for i, a := range cfg.Hosts {
-		for _, b := range cfg.Hosts {
-			if a == b {
-				continue
-			}
-			if r, err := routing.Shortest(cfg.Net, a, b); err == nil {
-				s.cells[i].nic.SetRoute(b, r)
+	// Pre-install shortest routes, as the sequential engine does — each
+	// NIC only needs routes from its own host, evaluated on its cell's
+	// topology replica.
+	for _, c := range s.cells {
+		for _, a := range c.hosts {
+			for _, b := range cfg.Hosts {
+				if a == b {
+					continue
+				}
+				if r, err := routing.Shortest(cfg.Net, a, b); err == nil {
+					c.nics[a].SetRoute(b, r)
+				}
 			}
 		}
 	}
-	s.eng = parsim.NewEngine(shards, s.Lookahead, cfg.Shards)
-	// Shard boundary: a packet terminating at a remote host crosses via
-	// the engine, deep-copied — wire transit is the serialization point.
+	s.eng = parsim.NewEngine(shards, s.Lookahead, workers)
+	// Shard boundary: a packet terminating at a host of another cell
+	// crosses via the engine, deep-copied from pooled storage — wire
+	// transit is the serialization point. Intra-cell packets never get
+	// here: their hosts are locally attached to the cell's pipe.
 	for i := range s.cells {
 		src := s.cells[i]
 		port := s.eng.Port(i)
@@ -192,28 +253,37 @@ func msgID(f *proto.Frame) uint64 {
 	return 0
 }
 
-// clonePacket deep-copies a packet crossing a shard boundary. Callbacks
-// are stripped: OnInjectDone already fired on the source shard, and the
-// wire gives no cross-host drop feedback (which is why the retransmission
-// protocol exists).
+// clonePacket deep-copies a packet crossing a shard boundary, drawing
+// packet and frame storage from the fabric/proto pools: the destination
+// NIC's receive path releases both at end of life, so steady-state
+// cross-shard traffic allocates nothing. Callbacks are stripped by
+// ClonePooled: OnInjectDone already fired on the source shard, and the
+// wire gives no cross-host drop feedback (which is why the
+// retransmission protocol exists).
 func clonePacket(pkt *fabric.Packet) *fabric.Packet {
-	cp := *pkt
-	cp.Route = pkt.Route.Clone()
-	cp.OnInjectDone = nil
-	cp.OnDropped = nil
+	cp := pkt.ClonePooled()
 	if f, ok := pkt.Payload.(*proto.Frame); ok {
-		cp.Payload = f.Clone()
+		cp.Payload = f.ClonePooled()
 	}
-	return &cp
+	return cp
 }
 
-// minHostHops returns the smallest switch count on any shortest route
-// between distinct hosts — the hop floor for the lookahead derivation.
-func minHostHops(nw *topology.Network, hosts []topology.NodeID) int {
+// minCrossHops returns the smallest switch count on any shortest route
+// between hosts of different shards — the hop floor for the lookahead
+// derivation. Routes inside one shard don't constrain the lookahead
+// (intra-cell delivery never crosses a barrier), which is exactly why
+// coarse shards widen the window on clustered topologies.
+func minCrossHops(nw *topology.Network, groups [][]topology.NodeID) int {
+	cellOf := make(map[topology.NodeID]int)
+	for i, g := range groups {
+		for _, h := range g {
+			cellOf[h] = i
+		}
+	}
 	best := 0
-	for _, a := range hosts {
-		for _, b := range hosts {
-			if a == b {
+	for a, ca := range cellOf {
+		for b, cb := range cellOf {
+			if ca == cb {
 				continue
 			}
 			r, err := routing.Shortest(nw, a, b)
@@ -249,8 +319,9 @@ func trunkLinks(nw *topology.Network) []*topology.Link {
 // replicated onto every shard's topology view at the same simulated
 // instant — fault events are global state changes, not cross-shard
 // messages, so they need no lookahead and are identical for any worker
-// count. Call before Run.
-func (s *ShardedCluster) FlapTrunk(ti int, at, dur time.Duration) {
+// count. Call before Run. Sharded engine only.
+func (s *Cluster) FlapTrunk(ti int, at, dur time.Duration) {
+	s.mustSharded("FlapTrunk")
 	for _, c := range s.cells {
 		trunks := trunkLinks(c.nw)
 		if len(trunks) == 0 {
@@ -266,8 +337,10 @@ func (s *ShardedCluster) FlapTrunk(ti int, at, dur time.Duration) {
 // StartFlows spawns the frame-level workload: for each flow, a sender
 // process on the source shard pushes msgs data frames of size bytes with
 // gap pacing (plus the chaos workload's per-flow stagger), and the
-// destination shard's delivery log records every accepted frame.
-func (s *ShardedCluster) StartFlows(flows []Flow, msgs, bytes int, gap time.Duration) {
+// destination shard's delivery log records every accepted frame. Sharded
+// engine only.
+func (s *Cluster) StartFlows(flows []Flow, msgs, bytes int, gap time.Duration) {
+	s.mustSharded("StartFlows")
 	if msgs == 0 {
 		msgs = 6
 	}
@@ -279,6 +352,7 @@ func (s *ShardedCluster) StartFlows(flows []Flow, msgs, bytes int, gap time.Dura
 	}
 	for i, f := range flows {
 		c := s.cells[s.byHost[f.Src]]
+		n := c.nics[f.Src]
 		dst := f.Dst
 		stagger := time.Duration(i%7) * 37 * time.Microsecond
 		mcount := msgs
@@ -297,37 +371,37 @@ func (s *ShardedCluster) StartFlows(flows []Flow, msgs, bytes int, gap time.Dura
 						Notify: true,
 					},
 				}
-				c.nic.Send(p, frame)
+				n.Send(p, frame)
 				p.Sleep(pace)
 			}
 		})
 	}
 }
 
-// RunFor advances the whole sharded simulation by d.
-func (s *ShardedCluster) RunFor(d time.Duration) { s.eng.RunFor(d) }
-
-// Stop terminates every shard kernel and its processes.
-func (s *ShardedCluster) Stop() {
-	for _, c := range s.cells {
-		c.k.Stop()
-	}
+// Workers returns the engine's worker count. Sharded engine only.
+func (s *Cluster) Workers() int {
+	s.mustSharded("Workers")
+	return s.eng.Workers()
 }
 
-// Now returns the time frontier all shards have reached.
-func (s *ShardedCluster) Now() sim.Time { return s.eng.Now() }
+// Epochs returns how many epoch windows the engine has executed. Sharded
+// engine only.
+func (s *Cluster) Epochs() uint64 {
+	s.mustSharded("Epochs")
+	return s.eng.Epochs()
+}
 
-// Workers returns the engine's worker count.
-func (s *ShardedCluster) Workers() int { return s.eng.Workers() }
+// Exchanged returns how many packets crossed shard boundaries. Sharded
+// engine only.
+func (s *Cluster) Exchanged() uint64 {
+	s.mustSharded("Exchanged")
+	return s.eng.Exchanged()
+}
 
-// Epochs returns how many epoch windows the engine has executed.
-func (s *ShardedCluster) Epochs() uint64 { return s.eng.Epochs() }
-
-// Exchanged returns how many packets crossed shard boundaries.
-func (s *ShardedCluster) Exchanged() uint64 { return s.eng.Exchanged() }
-
-// TotalExecuted sums executed events across all shard kernels.
-func (s *ShardedCluster) TotalExecuted() uint64 {
+// TotalExecuted sums executed events across all shard kernels. Sharded
+// engine only.
+func (s *Cluster) TotalExecuted() uint64 {
+	s.mustSharded("TotalExecuted")
 	var t uint64
 	for _, c := range s.cells {
 		t += c.k.Executed()
@@ -335,18 +409,25 @@ func (s *ShardedCluster) TotalExecuted() uint64 {
 	return t
 }
 
-// NIC returns the NIC of host h.
-func (s *ShardedCluster) NIC(h topology.NodeID) *nic.NIC {
-	return s.cells[s.byHost[h]].nic
+// Shards returns the shard count of the partition (≥ 2 in sharded mode).
+func (s *Cluster) Shards() int {
+	s.mustSharded("Shards")
+	return len(s.cells)
 }
 
 // CellKernel returns shard i's kernel (for RNG-discipline checks).
-func (s *ShardedCluster) CellKernel(i int) *sim.Kernel { return s.cells[i].k }
+// Sharded engine only.
+func (s *Cluster) CellKernel(i int) *sim.Kernel {
+	s.mustSharded("CellKernel")
+	return s.cells[i].k
+}
 
 // MergedObserver merges every shard's registry (in shard order — though
 // any order gives the same result, see metrics.MergeFrom) into one fresh
-// observer, materializing derived gauges at the current frontier.
-func (s *ShardedCluster) MergedObserver() *metrics.Observer {
+// observer, materializing derived gauges at the current frontier. Sharded
+// engine only; the sequential engine's Observer is already cluster-wide.
+func (s *Cluster) MergedObserver() *metrics.Observer {
+	s.mustSharded("MergedObserver")
 	obs := metrics.NewObserver(s.cfg.Metrics)
 	for _, c := range s.cells {
 		obs.Registry().MergeFrom(c.obs.Registry())
@@ -355,8 +436,10 @@ func (s *ShardedCluster) MergedObserver() *metrics.Observer {
 }
 
 // TraceEvents returns the deterministic cluster-wide timeline: per-shard
-// rings merged by (time, shard index, emission order).
-func (s *ShardedCluster) TraceEvents() []trace.Event {
+// rings merged by (time, shard index, emission order). Sharded engine
+// only.
+func (s *Cluster) TraceEvents() []trace.Event {
+	s.mustSharded("TraceEvents")
 	streams := make([][]trace.Event, len(s.cells))
 	for i, c := range s.cells {
 		streams[i] = c.ring.Events()
@@ -365,8 +448,10 @@ func (s *ShardedCluster) TraceEvents() []trace.Event {
 }
 
 // Deliveries returns the merged delivery order: per-shard logs (each in
-// local time order) merged by (time, shard index, log position).
-func (s *ShardedCluster) Deliveries() []Delivery {
+// local time order) merged by (time, shard index, log position). Sharded
+// engine only.
+func (s *Cluster) Deliveries() []Delivery {
+	s.mustSharded("Deliveries")
 	// Reuse the stable-sort merge rule via concatenation in shard order.
 	var out []Delivery
 	for _, c := range s.cells {
@@ -377,7 +462,9 @@ func (s *ShardedCluster) Deliveries() []Delivery {
 }
 
 // DeliveredCount returns the total number of accepted data frames.
-func (s *ShardedCluster) DeliveredCount() int {
+// Sharded engine only.
+func (s *Cluster) DeliveredCount() int {
+	s.mustSharded("DeliveredCount")
 	n := 0
 	for _, c := range s.cells {
 		n += len(c.deliveries)
@@ -388,8 +475,9 @@ func (s *ShardedCluster) DeliveredCount() int {
 // DumpObservables renders every observable of the run as one byte
 // stream — delivery order, merged metrics summary, and the merged
 // Perfetto trace export — the payload of the differential determinism
-// gate: byte-identical for every worker count.
-func (s *ShardedCluster) DumpObservables() []byte {
+// gate: byte-identical for every worker count. Sharded engine only.
+func (s *Cluster) DumpObservables() []byte {
+	s.mustSharded("DumpObservables")
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "sharded run: hosts=%d lookahead=%v frontier=%d exchanged=%d\n",
 		len(s.Hosts), s.Lookahead, s.Now(), s.Exchanged())

@@ -1,0 +1,77 @@
+package fabric
+
+import (
+	"testing"
+
+	"sanft/internal/routing"
+	"sanft/internal/sim"
+	"sanft/internal/topology"
+)
+
+// TestPacketClonePooledAllocs pins the fabric side of the shard-boundary
+// clone: after pool warmup, ClonePooled+Release of a packet shell must
+// not allocate (the payload is cloned separately by the protocol layer).
+func TestPacketClonePooledAllocs(t *testing.T) {
+	pkt := &Packet{
+		Route: routing.Route{1, 2}, Src: 1, Dst: 2, Size: 1048,
+		Gen: 1, Seq: 5, Msg: 3,
+	}
+	pkt.ClonePooled().Release()
+	avg := testing.AllocsPerRun(10000, func() {
+		pkt.ClonePooled().Release()
+	})
+	if avg != 0 {
+		t.Fatalf("packet boundary clone allocates %.2f allocs/op in steady state, want 0", avg)
+	}
+}
+
+// TestPacketReleaseOwnershipGuard: value copies and ordinary packets
+// must never free pooled storage.
+func TestPacketReleaseOwnershipGuard(t *testing.T) {
+	orig := &Packet{Route: routing.Route{1}, Size: 64}
+	c := orig.ClonePooled()
+	cp := *c
+	cp.Release() // value copy: no-op
+	if len(c.Route) != 1 || c.Route[0] != 1 {
+		t.Fatal("releasing a value copy freed the owner's route storage")
+	}
+	c.Release()
+	orig.Release() // blk nil: no-op
+	if len(orig.Route) != 1 {
+		t.Fatal("releasing an ordinary packet corrupted it")
+	}
+}
+
+// TestPipeInjectAllocs pins the pipe-mode inject hot path. Inject
+// schedules two closures (send-DMA completion and local arrival), each
+// capturing state, and the kernel itself adds nothing — so the budget is
+// the closures alone. The gate uses a pre-routed packet with no
+// callbacks; 4 allocs/op covers the two closure headers plus their
+// captured-variable boxes and leaves zero headroom for regression (the
+// pre-overhaul stack measured ~3x this from heap boxing alone).
+func TestPipeInjectAllocs(t *testing.T) {
+	nw, hosts := topology.Star(2)
+	k := sim.New(1)
+	p := NewPipe(k, nw, DefaultConfig())
+	for _, h := range hosts {
+		p.AttachHost(h, func(*Packet) {})
+	}
+	route, err := routing.Shortest(nw, hosts[0], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := &Packet{Route: route, Dst: hosts[1], Size: 256}
+	// Warm the kernel arena and pipe state.
+	for i := 0; i < 16; i++ {
+		p.Inject(hosts[0], pkt)
+		k.Run()
+	}
+	const budget = 4.0
+	avg := testing.AllocsPerRun(2000, func() {
+		p.Inject(hosts[0], pkt)
+		k.Run()
+	})
+	if avg > budget {
+		t.Fatalf("pipe inject+deliver allocates %.2f allocs/op, budget %.0f", avg, budget)
+	}
+}

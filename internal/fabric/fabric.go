@@ -329,7 +329,7 @@ func (f *Fabric) InFlightDetail() []string {
 		out = append(out, fmt.Sprintf(
 			"worm#%d src=%d dst=%d size=%d routeIdx=%d/%d held=%d/%d wait=%s watchdog=%v dead=%v",
 			w.seq, w.pkt.Src, w.pkt.Dst, w.pkt.Size, w.routeIdx, len(w.pkt.Route),
-			held, len(w.held), wait, w.watchdog != nil, w.dead))
+			held, len(w.held), wait, w.watchdog.Pending(), w.dead))
 	}
 	return out
 }

@@ -97,6 +97,10 @@ type Packet struct {
 	OnInjectDone func()
 	// OnDropped fires if the fabric discards the packet. May be nil.
 	OnDropped func(reason DropReason)
+
+	// blk points back to this packet's pooled storage when it came from
+	// ClonePooled; nil for ordinary packets. See Release.
+	blk *packetBlock
 }
 
 // Stats counts fabric-level events.

@@ -1,0 +1,51 @@
+package fabric
+
+import "sync"
+
+// packetBlock is one unit of pooled packet storage: the packet plus a
+// reusable route buffer, so cloning a packet across a shard boundary
+// allocates nothing in steady state. The payload is not part of the
+// block — protocol layers pool their frames separately (the fabric
+// never looks inside Payload) and the two lifetimes differ: the packet
+// dies when receive firmware finishes, the frame when the host has
+// consumed it.
+type packetBlock struct {
+	pkt      Packet
+	routeBuf []int
+}
+
+var packetPool = sync.Pool{New: func() any { return new(packetBlock) }}
+
+// ClonePooled returns a copy of the packet shell from pooled storage:
+// route bytes are copied into the block's reusable buffer and callbacks
+// are stripped (OnInjectDone already fired on the source shard, and the
+// wire gives no cross-host drop feedback — which is why the
+// retransmission protocol exists). Payload is carried over as-is; the
+// caller deep-copies it when the boundary demands. The caller owns the
+// copy until it calls Release.
+func (p *Packet) ClonePooled() *Packet {
+	b := packetPool.Get().(*packetBlock)
+	cp := &b.pkt
+	*cp = *p
+	cp.blk = b
+	b.routeBuf = append(b.routeBuf[:0], p.Route...)
+	cp.Route = b.routeBuf
+	cp.OnInjectDone = nil
+	cp.OnDropped = nil
+	return cp
+}
+
+// Release returns a ClonePooled packet's storage to the pool. Ordinary
+// packets (blk nil) and value copies of a pooled packet are no-ops, so
+// the receive path can release unconditionally: in sequential mode every
+// packet it sees is an original and nothing happens. The packet must not
+// be used after Release; its Payload is not released (see packetBlock).
+func (p *Packet) Release() {
+	b := p.blk
+	if b == nil || &b.pkt != p {
+		return
+	}
+	rb := b.routeBuf
+	*b = packetBlock{routeBuf: rb[:0]}
+	packetPool.Put(b)
+}

@@ -31,7 +31,7 @@ type worm struct {
 	waitNext topology.NodeID // node at far end of the awaited channel
 	parkedAt sim.Time        // when the worm parked (for blocking-time accounting)
 
-	watchdog      *sim.Timer
+	watchdog      sim.Timer
 	dead          bool
 	injectionDone bool // OnInjectDone already fired
 }
@@ -65,9 +65,8 @@ func (w *worm) request(key chanKey, next topology.NodeID) {
 	w.waiting, w.waitKey, w.waitNext = cs, key, next
 	w.parkedAt = w.f.k.Now()
 	w.f.emitPkt(trace.EvLinkBlock, w.pkt, key.link, key.dir, "")
-	if w.watchdog == nil {
+	if !w.watchdog.Pending() {
 		w.watchdog = w.f.k.After(w.f.cfg.Watchdog, func() {
-			w.watchdog = nil
 			w.f.stats.WatchdogResets++
 			w.f.mx.Add("fabric.watchdog_resets", 1)
 			w.f.emitPkt(trace.EvWatchdog, w.pkt, w.waitKey.link, w.waitKey.dir, "")
@@ -101,10 +100,7 @@ func (w *worm) granted(key chanKey, next topology.NodeID) {
 	f.emitPkt(trace.EvLinkAcquire, w.pkt, key.link, key.dir, "")
 	w.noteUnparked()
 	w.waiting = nil
-	if w.watchdog != nil {
-		w.watchdog.Cancel()
-		w.watchdog = nil
-	}
+	w.watchdog.Cancel()
 	w.held = append(w.held, key)
 	w.grants = append(w.grants, now)
 
@@ -209,10 +205,7 @@ func (w *worm) finish() {
 	f := w.f
 	w.dead = true
 	delete(f.worms, w)
-	if w.watchdog != nil {
-		w.watchdog.Cancel()
-		w.watchdog = nil
-	}
+	w.watchdog.Cancel()
 	if w.waiting != nil {
 		w.noteUnparked()
 		ws := w.waiting.waiters

@@ -42,7 +42,7 @@ type Observer struct {
 	cfg     Config
 	samples []Sample
 
-	timer     *sim.Timer
+	timer     sim.Timer
 	lastEpoch uint64
 	sampled   bool // at least one sample taken (epoch baseline valid)
 }
@@ -121,7 +121,7 @@ func (o *Observer) StartSampling(k *sim.Kernel, every time.Duration) {
 	var tick func()
 	tick = func() {
 		if o.cfg.MaxSamples > 0 && len(o.samples) >= o.cfg.MaxSamples {
-			o.timer = nil
+			o.timer = sim.Timer{}
 			return
 		}
 		o.sampleIfActive(k.Now())
@@ -132,10 +132,8 @@ func (o *Observer) StartSampling(k *sim.Kernel, every time.Duration) {
 
 // StopSampling cancels the periodic sampler, if armed.
 func (o *Observer) StopSampling() {
-	if o.timer != nil {
-		o.timer.Cancel()
-		o.timer = nil
-	}
+	o.timer.Cancel()
+	o.timer = sim.Timer{}
 }
 
 // Samples returns the collected time series.

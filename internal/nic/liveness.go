@@ -13,7 +13,7 @@ import (
 // detection timer.
 type liveSession struct {
 	s      *liveness.Session
-	detect *sim.Timer
+	detect sim.Timer
 }
 
 // ensureSession creates (once) the liveness session toward dst and starts

@@ -110,7 +110,7 @@ type NIC struct {
 
 	snd        *retrans.Sender
 	rcv        *retrans.Receiver
-	delayedAck map[topology.NodeID]*sim.Timer
+	delayedAck map[topology.NodeID]sim.Timer
 	inRemap    map[topology.NodeID]bool
 	live       map[topology.NodeID]*liveSession
 	// deposited tracks, per source, the newest (gen, seq) whose data has
@@ -169,7 +169,7 @@ func New(k *sim.Kernel, fab Wire, node topology.NodeID, opts Options) *NIC {
 		pci:         sim.NewResource(k, fmt.Sprintf("nic%d-pci", node)),
 		routes:      make(map[topology.NodeID]routing.Route),
 		freeBuffers: opts.Retrans.QueueSize,
-		delayedAck:  make(map[topology.NodeID]*sim.Timer),
+		delayedAck:  make(map[topology.NodeID]sim.Timer),
 		inRemap:     make(map[topology.NodeID]bool),
 		live:        make(map[topology.NodeID]*liveSession),
 		deposited:   make(map[topology.NodeID]depositMark),
@@ -729,7 +729,12 @@ func (n *NIC) onWire(pkt *fabric.Packet) {
 	default:
 		cost = n.cost.ProbeCost
 	}
-	n.cpu.Submit(cost, func() { n.processFrame(frame, pkt) })
+	n.cpu.Submit(cost, func() {
+		n.processFrame(frame, pkt)
+		// The packet shell is dead once receive firmware returns; recycle
+		// pooled (shard-boundary) storage. No-op for ordinary packets.
+		pkt.Release()
+	})
 }
 
 func (n *NIC) processFrame(frame *proto.Frame, pkt *fabric.Packet) {
@@ -738,11 +743,19 @@ func (n *NIC) processFrame(frame *proto.Frame, pkt *fabric.Packet) {
 	if pkt.Corrupted {
 		n.inc("crc-drops", 1)
 		n.emit(trace.EvCrcDrop, frame.Src, frame.Gen, frame.Seq, msgOf(frame))
+		frame.Release()
 		return
 	}
+	// Frames the receive path fully consumes are released at their last
+	// use: acks and liveness here, data frames at the end of their deposit
+	// path (processData owns them from here). Probe-family and
+	// route-update frames are never pooled — interior references outlive
+	// the receive path — so they need no release. In sequential mode every
+	// frame is the sender's original (Release no-ops on it).
 	switch frame.Type {
 	case proto.FrameAck:
 		n.processAck(frame.Src, frame.AckGen, frame.AckSeq)
+		frame.Release()
 	case proto.FrameData:
 		n.processData(frame)
 	case proto.FrameHostProbe:
@@ -758,6 +771,7 @@ func (n *NIC) processFrame(frame *proto.Frame, pkt *fabric.Packet) {
 		}
 	case proto.FrameLiveness:
 		n.onLiveness(frame)
+		frame.Release()
 	}
 }
 
@@ -804,6 +818,7 @@ func (n *NIC) processData(frame *proto.Frame) {
 				n.inc("rx-ooo-drops", 1)
 				n.emit(trace.EvOooDrop, frame.Src, frame.Gen, frame.Seq, msgOf(frame))
 			}
+			frame.Release()
 			return
 		}
 	}
@@ -828,6 +843,9 @@ func (n *NIC) processData(frame *proto.Frame) {
 			if n.opts.OnDeliver != nil {
 				n.opts.OnDeliver(frame)
 			}
+			// Host consumption is the end of a received data frame's life;
+			// recycle pooled storage (no-op on a sender's original).
+			frame.Release()
 		})
 	})
 }

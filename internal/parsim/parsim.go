@@ -18,6 +18,18 @@
 // traversal latency. The paper's own argument makes this safe to rely
 // on: the retransmission protocol tolerates any packet delay or loss, so
 // correctness never depends on sub-lookahead cross-host reaction times.
+//
+// The epoch loop is built for short lookaheads (a system-area fabric
+// bounds L at a few hundred nanoseconds, so barriers dominate): the
+// coordinating goroutine is itself a full epoch participant and keeps
+// only workers-1 helper goroutines, helpers spin on an atomic epoch
+// generation between back-to-back windows and park on a channel only
+// across Run calls (so the per-epoch handoff is an atomic store, not a
+// futex round-trip), the exchange buffers are reused across epochs
+// without allocating, idle shards align their clocks inline without
+// touching a helper, and stretches where only one shard has work at all
+// batch many windows into one inline run that pauses only when a
+// cross-shard event is actually posted.
 package parsim
 
 import (
@@ -59,6 +71,14 @@ func xevLess(a, b xev) bool {
 	return a.seq < b.seq
 }
 
+// xevSorter adapts an inbox to sort.Interface. The engine keeps one and
+// rebinds its slice per sort, so restoring inbox order allocates nothing.
+type xevSorter struct{ s []xev }
+
+func (x *xevSorter) Len() int           { return len(x.s) }
+func (x *xevSorter) Less(i, j int) bool { return xevLess(x.s[i], x.s[j]) }
+func (x *xevSorter) Swap(i, j int)      { x.s[i], x.s[j] = x.s[j], x.s[i] }
+
 // Port is a shard's handle for posting cross-shard events. Each shard
 // holds its own port; posts go to a per-source outbox, so shards running
 // on different workers never share a write destination.
@@ -99,6 +119,30 @@ type Engine struct {
 
 	epochs    uint64
 	exchanged uint64
+
+	// Persistent helper pool, started lazily on the first epoch that has
+	// more than one busy shard. The coordinator participates in every
+	// epoch itself, so the pool holds workers-1 goroutines. Awake helpers
+	// spin on gen: each bump publishes one epoch (epochEnd, active, cursor
+	// are written before the bump; the atomic establishes happens-before),
+	// helpers claim shards through the atomic cursor and report through
+	// doneN. Across Run calls helpers park on their start channel —
+	// stopSpin flips them between the two states — so idle engines burn
+	// nothing while in-Run epochs hand off with a single atomic store.
+	start    []chan struct{}
+	gen      atomic.Uint64
+	doneN    atomic.Int64
+	stopSpin atomic.Bool
+	awake    bool    // coordinator-private: helpers are in spin state
+	active   []int32 // shards with local events this epoch
+	cursor   int64   // atomic work-stealing index into active
+	epochEnd sim.Time
+
+	panicMu  sync.Mutex
+	panicVal any
+
+	touched []bool // per-dst inbox dirty flags, reused across collects
+	sorter  xevSorter
 }
 
 // NewEngine builds an engine over shards with the given lookahead and
@@ -121,6 +165,7 @@ func NewEngine(shards []Shard, lookahead time.Duration, workers int) *Engine {
 		outbox:    make([][]xev, len(shards)),
 		inbox:     make([][]xev, len(shards)),
 		seq:       make([]uint64, len(shards)),
+		touched:   make([]bool, len(shards)),
 	}
 }
 
@@ -133,7 +178,8 @@ func (e *Engine) Workers() int { return e.workers }
 // Lookahead returns the epoch window width.
 func (e *Engine) Lookahead() time.Duration { return e.lookahead }
 
-// Now returns the frontier all shard clocks have reached.
+// Now returns the frontier the engine has advanced to. Individual shard
+// clocks may lag it between calls; Run aligns them before returning.
 func (e *Engine) Now() sim.Time { return e.now }
 
 // Epochs returns how many epoch windows have executed.
@@ -141,6 +187,19 @@ func (e *Engine) Epochs() uint64 { return e.epochs }
 
 // Exchanged returns how many cross-shard events have crossed barriers.
 func (e *Engine) Exchanged() uint64 { return e.exchanged }
+
+// Shutdown retires the persistent helper goroutines. The engine remains
+// usable — the next multi-shard epoch restarts the pool — but callers
+// that are done with the engine should Shutdown so idle helpers do not
+// outlive it. Safe to call repeatedly, or without ever having run.
+// Run always parks the pool before returning, so outside a Run call
+// every helper is blocked on its start channel and close releases it.
+func (e *Engine) Shutdown() {
+	for _, c := range e.start {
+		close(c)
+	}
+	e.start = nil
+}
 
 // nextWork returns the earliest pending activity across all shards:
 // local kernel events and undelivered cross-shard arrivals.
@@ -164,7 +223,7 @@ func (e *Engine) nextWork() (sim.Time, bool) {
 }
 
 // deliver schedules shard i's due inbox events (time < end) into its
-// kernel, in (time, src, seq) order, and drops them from the inbox.
+// kernel, in (time, src, seq) order, and compacts the inbox in place.
 func (e *Engine) deliver(i int, end sim.Time) {
 	in := e.inbox[i]
 	n := 0
@@ -175,80 +234,267 @@ func (e *Engine) deliver(i int, end sim.Time) {
 		return
 	}
 	k := e.shards[i].Kernel()
-	for _, ev := range in[:n] {
-		k.At(ev.at, ev.fn)
+	for j := 0; j < n; j++ {
+		k.At(in[j].at, in[j].fn)
 	}
-	e.inbox[i] = append(in[:0:0], in[n:]...)
+	m := copy(in, in[n:])
+	for j := m; j < len(in); j++ {
+		in[j] = xev{} // drop closure refs in the vacated tail
+	}
+	e.inbox[i] = in[:m]
 }
 
-// runEpoch advances every shard kernel to end, distributing shards over
-// the worker goroutines by work stealing. The final-state guarantee does
-// not depend on the distribution: shards share no mutable state during
-// an epoch, and everything they exchange goes through the sorted outbox
+// ensureWorkers lazily starts the persistent pool. The coordinator is a
+// full epoch participant, so only workers-1 helpers are needed, further
+// capped at GOMAXPROCS-1 and shards-1: helpers beyond the cores that can
+// run them (or the shards there are to claim) would only add per-epoch
+// signalling cost, and the worker count never affects results — only
+// wall-clock time.
+func (e *Engine) ensureWorkers() {
+	if e.start != nil {
+		return
+	}
+	n := e.workers - 1
+	if m := len(e.shards) - 1; n > m {
+		n = m
+	}
+	if p := runtime.GOMAXPROCS(0) - 1; n > p {
+		n = p
+	}
+	if n < 0 {
+		n = 0
+	}
+	e.start = make([]chan struct{}, n)
+	for g := 0; g < n; g++ {
+		e.start[g] = make(chan struct{}, 1)
+		go e.workerLoop(g)
+	}
+}
+
+// spinYield bounds how hot a helper spins between epochs: every
+// spinYield empty polls it yields the processor, so a helper waiting out
+// a long inline (solo-shard) stretch never starves the coordinator.
+const spinYield = 64
+
+// workerLoop is one persistent helper. Parked state: blocked on the
+// start channel (a token wakes it into spin state; close retires it).
+// Spin state: poll gen, and on each bump claim busy shards off the
+// shared cursor and report through doneN; when stopSpin is raised, ack
+// through doneN and park again.
+func (e *Engine) workerLoop(id int) {
+	var lastGen uint64
+	for range e.start[id] {
+		for spins := 0; ; {
+			if e.stopSpin.Load() {
+				e.doneN.Add(1)
+				break
+			}
+			if g := e.gen.Load(); g != lastGen {
+				lastGen = g
+				e.claimShards()
+				e.doneN.Add(1)
+				spins = 0
+				continue
+			}
+			if spins++; spins%spinYield == 0 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// wakeWorkers moves every helper from parked to spin state. Called on
+// the first barrier epoch of a Run; no-op while already awake.
+func (e *Engine) wakeWorkers() {
+	if e.awake {
+		return
+	}
+	e.ensureWorkers()
+	e.stopSpin.Store(false)
+	e.doneN.Store(0)
+	for _, c := range e.start {
+		c <- struct{}{}
+	}
+	e.awake = true
+}
+
+// parkWorkers returns every helper to its start channel and waits for
+// the acks, so that after it returns no helper touches engine state —
+// Shutdown may close the channels, and an idle engine burns no CPU.
+// Only called between epochs, when every helper is spinning idle.
+func (e *Engine) parkWorkers() {
+	if !e.awake {
+		return
+	}
+	e.doneN.Store(0)
+	e.stopSpin.Store(true)
+	for e.doneN.Load() != int64(len(e.start)) {
+		runtime.Gosched()
+	}
+	e.awake = false
+}
+
+// claimShards runs claimed shards to the published epoch end. A panic in
+// shard code is captured (first wins) and re-raised by the coordinator
+// after the barrier; the panicking worker stops claiming, the rest of
+// the epoch's shards drain onto its peers.
+func (e *Engine) claimShards() {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicMu.Lock()
+			if e.panicVal == nil {
+				e.panicVal = r
+			}
+			e.panicMu.Unlock()
+		}
+	}()
+	end := e.epochEnd
+	for {
+		i := int(atomic.AddInt64(&e.cursor, 1))
+		if i >= len(e.active) {
+			return
+		}
+		e.shards[e.active[i]].Kernel().RunBefore(end)
+	}
+}
+
+// runEpoch advances every shard kernel to end. Shards with no local
+// events only need their clock aligned — done inline, off the helpers'
+// plate. The busy shards are distributed over the coordinator plus the
+// spinning helper pool by work stealing; with one busy shard (or one
+// worker) the barrier is skipped entirely. The final state does not
+// depend on the distribution: shards share no mutable state during an
+// epoch, and everything they exchange goes through the sorted outbox
 // merge afterwards.
 func (e *Engine) runEpoch(end sim.Time) {
-	w := e.workers
-	if w > len(e.shards) {
-		w = len(e.shards)
+	e.active = e.active[:0]
+	for i, s := range e.shards {
+		if t, ok := s.Kernel().NextEvent(); ok && t < end {
+			e.active = append(e.active, int32(i))
+		} else {
+			s.Kernel().RunBefore(end) // clock alignment only
+		}
 	}
-	if w <= 1 {
-		for _, s := range e.shards {
-			s.Kernel().RunBefore(end)
+	if len(e.active) <= 1 || e.workers <= 1 {
+		for _, i := range e.active {
+			e.shards[i].Kernel().RunBefore(end)
 		}
 		return
 	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	var panicOnce sync.Once
-	var panicked any
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicOnce.Do(func() { panicked = r })
-				}
-			}()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(e.shards) {
-					return
-				}
-				e.shards[i].Kernel().RunBefore(end)
-			}
-		}()
+	e.wakeWorkers()
+	e.epochEnd = end
+	atomic.StoreInt64(&e.cursor, -1)
+	e.doneN.Store(0)
+	e.gen.Add(1) // publish the epoch to the spinning helpers
+	e.claimShards()
+	for e.doneN.Load() != int64(len(e.start)) {
+		runtime.Gosched()
 	}
-	wg.Wait()
-	if panicked != nil {
-		panic(panicked)
+	if e.panicVal != nil {
+		p := e.panicVal
+		e.panicVal = nil
+		panic(p) // Run's deferred parkWorkers quiesces the helpers
 	}
 }
 
 // collect moves every outbox event posted during the epoch into its
-// destination inbox and restores the inbox sort order.
+// destination inbox and restores the inbox sort order. All buffers are
+// reused; steady-state exchange allocates nothing.
 func (e *Engine) collect() {
-	touched := make(map[int]bool)
+	dirty := false
 	for src := range e.outbox {
-		for _, ev := range e.outbox[src] {
+		out := e.outbox[src]
+		for j, ev := range out {
 			e.inbox[ev.dst] = append(e.inbox[ev.dst], ev)
-			touched[ev.dst] = true
+			e.touched[ev.dst] = true
+			dirty = true
 			e.exchanged++
+			out[j].fn = nil // inbox owns the closure now
 		}
-		e.outbox[src] = e.outbox[src][:0]
+		e.outbox[src] = out[:0]
 	}
-	for dst := range touched {
-		in := e.inbox[dst]
-		sort.Slice(in, func(i, j int) bool { return xevLess(in[i], in[j]) })
+	if !dirty {
+		return
 	}
+	for dst := range e.touched {
+		if !e.touched[dst] {
+			continue
+		}
+		e.touched[dst] = false
+		e.sorter.s = e.inbox[dst]
+		sort.Sort(&e.sorter)
+		e.sorter.s = nil
+	}
+}
+
+// soloShard reports whether exactly one shard has pending work before
+// until and nothing is in flight between shards — the state where epoch
+// barriers buy nothing.
+func (e *Engine) soloShard(until sim.Time) (int, bool) {
+	busy := -1
+	for i, s := range e.shards {
+		if len(e.inbox[i]) > 0 {
+			return 0, false
+		}
+		// A stopped kernel still reports its pending events; it can make
+		// no progress, so it must not be picked (the epoch loop skips it
+		// window by window instead).
+		if s.Kernel().Stopped() {
+			continue
+		}
+		if t, ok := s.Kernel().NextEvent(); ok && t < until {
+			if busy >= 0 {
+				return 0, false
+			}
+			busy = i
+		}
+	}
+	return busy, busy >= 0
+}
+
+// soloRun batches epoch windows for a lone busy shard: run it inline,
+// event by event, until it either drains (or reaches until) or posts a
+// cross-shard event. The first post re-establishes a real barrier —
+// another shard has work from then on — so control returns to the epoch
+// loop. The conservative bound is kept per event: an event executing at
+// t may only post at ≥ t+lookahead, so curEnd advances with the clock.
+// Each window of this batch would have run the same events in the same
+// order under the barrier protocol; only the barrier count changes.
+func (e *Engine) soloRun(i int, until sim.Time) {
+	k := e.shards[i].Kernel()
+	out := &e.outbox[i]
+	for len(*out) == 0 && !k.Stopped() {
+		t, ok := k.NextEvent()
+		if !ok || t >= until {
+			break
+		}
+		e.curEnd = t.Add(e.lookahead)
+		if !k.Step() {
+			break
+		}
+	}
+	if now := k.Now(); now > e.now {
+		e.now = now
+	}
+	e.epochs++
 }
 
 // Run executes all shards up to (but excluding) time until, then aligns
 // every shard clock to until. Epoch windows start at the earliest pending
 // work — idle stretches are skipped in one jump, so the epoch count
-// scales with event density, not simulated duration.
+// scales with event density, not simulated duration — and stretches with
+// a single busy shard bypass the barrier protocol entirely.
 func (e *Engine) Run(until sim.Time) {
+	// Helpers must be parked whenever control is outside Run — on normal
+	// return and when a panic (lookahead violation, shard code) unwinds —
+	// so Shutdown can retire them and idle engines burn no CPU.
+	defer e.parkWorkers()
 	for e.now < until {
+		if i, ok := e.soloShard(until); ok {
+			e.soloRun(i, until)
+			e.collect()
+			continue
+		}
 		start, ok := e.nextWork()
 		if !ok || start >= until {
 			break

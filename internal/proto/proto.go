@@ -188,6 +188,10 @@ type Frame struct {
 	// this frame (mapping probes explore routes that are not — and must
 	// not be — in any table). It is NIC-local state, not a wire field.
 	ControlRoute routing.Route
+
+	// blk points back to this frame's pooled storage when it came from
+	// ClonePooled; nil for ordinary frames. See Release.
+	blk *frameBlock
 }
 
 // Clone returns a deep copy of the frame: payload bytes, probe fields,
@@ -198,6 +202,7 @@ type Frame struct {
 // copy; the sender's retransmission queue keeps the original).
 func (f *Frame) Clone() *Frame {
 	c := *f
+	c.blk = nil // the copy owns no pooled storage
 	if f.Data != nil {
 		d := *f.Data
 		d.Data = append([]byte(nil), f.Data.Data...)

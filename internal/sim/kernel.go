@@ -1,83 +1,81 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
-// event is a scheduled callback. Events with equal times execute in
+// event is one scheduled callback, stored flat in the kernel's arena and
+// addressed by its arena index. Events with equal times execute in
 // scheduling order (seq breaks ties), which keeps runs deterministic.
+//
+// The arena slot is recycled through a free list once the event fires or
+// is cancelled; gen is bumped on every recycle so stale Timer handles
+// can never cancel a later occupant of the same slot.
 type event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	cancelled bool
-	index     int // heap index, -1 when popped
+	at  Time
+	seq uint64
+	gen uint32
+	pos int32 // index in the kernel's heap, -1 when not queued
+	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// Timer is a value handle to a scheduled event that can be cancelled.
+// The zero Timer is valid and permanently non-pending. Timers are small
+// and copyable; scheduling an event allocates nothing beyond the
+// caller's closure.
+type Timer struct {
+	k   *Kernel
+	id  int32
+	gen uint32
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
-// Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
 
 // Cancel prevents the timer's callback from running. Cancelling an already
 // fired or already cancelled timer is a no-op. Reports whether the timer was
 // still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.index == -1 {
+func (t Timer) Cancel() bool {
+	if t.k == nil {
 		return false
 	}
-	t.ev.cancelled = true
+	e := &t.k.arena[t.id]
+	if e.gen != t.gen || e.pos < 0 {
+		return false
+	}
+	t.k.heapRemove(int(e.pos))
+	t.k.release(t.id)
 	return true
 }
 
 // Pending reports whether the timer has neither fired nor been cancelled.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && t.ev.index != -1
+func (t Timer) Pending() bool {
+	if t.k == nil {
+		return false
+	}
+	e := &t.k.arena[t.id]
+	return e.gen == t.gen && e.pos >= 0
 }
 
 // Kernel is a discrete-event simulation engine. It is not safe for
 // concurrent use: all simulation code runs on a single logical thread
 // (the caller of Run, plus Procs which execute one at a time by handoff).
+//
+// The event queue is an index-based binary heap over a flat struct arena:
+// no per-event heap allocation, no interface boxing, and cancellation
+// removes the event eagerly instead of leaving a tombstone to skip later.
+// In steady state scheduling and firing events allocates nothing.
 type Kernel struct {
 	now     Time
-	events  eventHeap
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
 
-	procs     map[*Proc]struct{} // live procs, for shutdown
-	executed  uint64             // events executed, for diagnostics
-	inProcRun bool
+	arena []event // flat event records, indexed by event id
+	free  []int32 // recycled arena slots
+	heap  []int32 // binary heap of event ids, ordered by (at, seq)
+
+	procs    map[*Proc]struct{} // live procs, for shutdown
+	executed uint64             // events executed, for diagnostics
 }
 
 // New returns a kernel with its clock at zero and an RNG seeded with seed.
@@ -97,48 +95,138 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // Executed returns the number of events executed so far.
 func (k *Kernel) Executed() uint64 { return k.executed }
 
-// Pending returns the number of events currently scheduled (including
-// cancelled events not yet reaped).
-func (k *Kernel) Pending() int { return len(k.events) }
+// Pending returns the number of events currently scheduled. Cancelled
+// events are removed eagerly, so the count is exact.
+func (k *Kernel) Pending() int { return len(k.heap) }
+
+// less orders heap entries by (time, scheduling sequence).
+func (k *Kernel) less(a, b int32) bool {
+	ea, eb := &k.arena[a], &k.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (k *Kernel) siftUp(i int) {
+	id := k.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.less(id, k.heap[parent]) {
+			break
+		}
+		k.heap[i] = k.heap[parent]
+		k.arena[k.heap[i]].pos = int32(i)
+		i = parent
+	}
+	k.heap[i] = id
+	k.arena[id].pos = int32(i)
+}
+
+func (k *Kernel) siftDown(i int) {
+	id := k.heap[i]
+	n := len(k.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && k.less(k.heap[right], k.heap[left]) {
+			child = right
+		}
+		if !k.less(k.heap[child], id) {
+			break
+		}
+		k.heap[i] = k.heap[child]
+		k.arena[k.heap[i]].pos = int32(i)
+		i = child
+	}
+	k.heap[i] = id
+	k.arena[id].pos = int32(i)
+}
+
+// heapRemove deletes the entry at heap position i, preserving heap order.
+func (k *Kernel) heapRemove(i int) {
+	n := len(k.heap) - 1
+	last := k.heap[n]
+	k.heap = k.heap[:n]
+	if i == n {
+		return
+	}
+	k.heap[i] = last
+	k.arena[last].pos = int32(i)
+	k.siftDown(i)
+	k.siftUp(i)
+}
+
+// release returns an arena slot to the free list, dropping the closure
+// reference and invalidating outstanding Timer handles.
+func (k *Kernel) release(id int32) {
+	e := &k.arena[id]
+	e.fn = nil
+	e.gen++
+	e.pos = -1
+	k.free = append(k.free, id)
+}
+
+// schedule inserts a new event and returns its handle.
+func (k *Kernel) schedule(t Time, fn func()) Timer {
+	k.seq++
+	var id int32
+	if n := len(k.free); n > 0 {
+		id = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		k.arena = append(k.arena, event{})
+		id = int32(len(k.arena) - 1)
+	}
+	e := &k.arena[id]
+	e.at = t
+	e.seq = k.seq
+	e.fn = fn
+	e.pos = int32(len(k.heap))
+	k.heap = append(k.heap, id)
+	k.siftUp(int(e.pos))
+	return Timer{k: k, id: id, gen: e.gen}
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past is an
 // error in simulation logic and panics.
-func (k *Kernel) At(t Time, fn func()) *Timer {
+func (k *Kernel) At(t Time, fn func()) Timer {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
-	k.seq++
-	ev := &event{at: t, seq: k.seq, fn: fn}
-	heap.Push(&k.events, ev)
-	return &Timer{ev: ev}
+	return k.schedule(t, fn)
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
-func (k *Kernel) After(d time.Duration, fn func()) *Timer {
+func (k *Kernel) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	return k.At(k.now.Add(d), fn)
+	return k.schedule(k.now.Add(d), fn)
 }
 
 // Immediately schedules fn to run at the current time, after all events
 // already scheduled for this instant.
-func (k *Kernel) Immediately(fn func()) *Timer { return k.At(k.now, fn) }
+func (k *Kernel) Immediately(fn func()) Timer { return k.schedule(k.now, fn) }
 
 // Step executes the next pending event. It reports false when no events
 // remain or the kernel has been stopped.
 func (k *Kernel) Step() bool {
-	for len(k.events) > 0 && !k.stopped {
-		ev := heap.Pop(&k.events).(*event)
-		if ev.cancelled {
-			continue
-		}
-		k.now = ev.at
-		k.executed++
-		ev.fn()
-		return true
+	if k.stopped || len(k.heap) == 0 {
+		return false
 	}
-	return false
+	id := k.heap[0]
+	e := &k.arena[id]
+	k.now = e.at
+	fn := e.fn
+	k.heapRemove(0)
+	k.release(id)
+	k.executed++
+	fn()
+	return true
 }
 
 // Run executes events until none remain (or Stop is called). It returns the
@@ -152,14 +240,7 @@ func (k *Kernel) Run() Time {
 // RunUntil executes events with time ≤ t, then sets the clock to t.
 // Events scheduled exactly at t do execute.
 func (k *Kernel) RunUntil(t Time) {
-	for !k.stopped && len(k.events) > 0 {
-		next := k.peek()
-		if next == nil {
-			break
-		}
-		if next.at > t {
-			break
-		}
+	for !k.stopped && len(k.heap) > 0 && k.arena[k.heap[0]].at <= t {
 		k.Step()
 	}
 	if !k.stopped && k.now < t {
@@ -177,11 +258,7 @@ func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now.Add(d)) }
 // parks at t, and waits for the barrier to deliver cross-shard arrivals,
 // all of which carry times ≥ t.
 func (k *Kernel) RunBefore(t Time) {
-	for !k.stopped {
-		next := k.peek()
-		if next == nil || next.at >= t {
-			break
-		}
+	for !k.stopped && len(k.heap) > 0 && k.arena[k.heap[0]].at < t {
 		k.Step()
 	}
 	if !k.stopped && k.now < t {
@@ -189,26 +266,14 @@ func (k *Kernel) RunBefore(t Time) {
 	}
 }
 
-// NextEvent returns the time of the earliest pending (non-cancelled)
-// event, if any. The parallel engine uses it to skip idle stretches:
-// an epoch window starts at the earliest work across all shards.
+// NextEvent returns the time of the earliest pending event, if any. The
+// parallel engine uses it to skip idle stretches: an epoch window starts
+// at the earliest work across all shards.
 func (k *Kernel) NextEvent() (Time, bool) {
-	ev := k.peek()
-	if ev == nil {
+	if len(k.heap) == 0 {
 		return 0, false
 	}
-	return ev.at, true
-}
-
-func (k *Kernel) peek() *event {
-	for len(k.events) > 0 {
-		if k.events[0].cancelled {
-			heap.Pop(&k.events)
-			continue
-		}
-		return k.events[0]
-	}
-	return nil
+	return k.arena[k.heap[0]].at, true
 }
 
 // Stopped reports whether Stop has been called.

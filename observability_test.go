@@ -20,7 +20,7 @@ func workloadDump(t *testing.T, seed int64) []byte {
 	const hosts, msgs = 3, 8
 	c := sanft.New(
 		sanft.WithStar(hosts),
-		sanft.WithFaultTolerance(sanft.DefaultParams()),
+		sanft.WithFaultTolerance(),
 		sanft.WithErrorRate(0.05),
 		sanft.WithSeed(seed),
 		sanft.WithSampling(time.Millisecond),

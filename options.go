@@ -72,21 +72,36 @@ func WithDoubleStar(n int) Option {
 	}
 }
 
-// WithFaultTolerance enables the firmware retransmission protocol with
-// the given parameters (zero fields take the paper's defaults).
-func WithFaultTolerance(rc RetransConfig) Option {
+// WithFaultTolerance enables the firmware retransmission protocol. With
+// no argument the protocol runs with whatever parameters are configured
+// (zero fields take the paper's best-compromise defaults — see
+// DefaultParams); combine with WithRetrans to tune them. An optional
+// RetransConfig argument is accepted for backward compatibility and is
+// equivalent to WithRetrans(rc) followed by WithFaultTolerance().
+func WithFaultTolerance(rc ...RetransConfig) Option {
 	return func(c *Config) {
 		c.FT = true
-		c.Retrans = rc
+		if len(rc) > 0 {
+			c.Retrans = rc[0]
+		}
 	}
 }
 
-// WithRetransParams sets protocol parameters without enabling the
-// protocol — in non-FT mode the queue size still bounds the send-buffer
-// pool, which is how the no-fault-tolerance baseline is provisioned.
-func WithRetransParams(rc RetransConfig) Option {
+// WithRetrans sets the retransmission-protocol parameters (queue size q,
+// timer interval T, permanent-failure threshold, ...) without toggling
+// the protocol itself — parameters and enablement are orthogonal. Note
+// that the parameters matter even with the protocol off: in non-FT mode
+// the queue size still bounds the send-buffer pool, which is how the
+// no-fault-tolerance baseline is provisioned.
+func WithRetrans(rc RetransConfig) Option {
 	return func(c *Config) { c.Retrans = rc }
 }
+
+// WithRetransParams sets protocol parameters without enabling the
+// protocol.
+//
+// Deprecated: renamed to WithRetrans.
+func WithRetransParams(rc RetransConfig) Option { return WithRetrans(rc) }
 
 // WithErrorRate injects send-side drops at rate p (e.g. 1e-3), each NIC
 // with its own deterministic schedule.
@@ -186,26 +201,58 @@ func WithFlightRecorder(fr *FlightRecorder) Option {
 	return func(c *Config) { c.Tracer = fr }
 }
 
-// WithShards sets the worker count for sharded parallel execution
-// (NewSharded): how many OS threads drive the per-host shard kernels.
-// Any value — including the default 0 (= GOMAXPROCS) — produces
-// byte-identical results; the setting only changes wall-clock time.
-// Ignored by New.
-func WithShards(n int) Option {
-	return func(c *Config) { c.Shards = n }
+// WithEngine selects the execution engine: EngineSequential (the
+// default — one kernel, full observability) or EngineSharded (hosts
+// partitioned into shard cells under the conservative parallel engine;
+// outputs are byte-identical for every worker count). Combine with
+// WithShardPlan and WithWorkers to shape a sharded run.
+func WithEngine(k EngineKind) Option {
+	return func(c *Config) { c.Engine = k }
 }
+
+// WithShardPlan sets the host partition for sharded execution and
+// implies WithEngine(EngineSharded). The plan is part of the
+// experiment's identity — it decides which traffic crosses epoch
+// barriers — so differential comparisons must hold it fixed. The zero
+// plan is one host per shard.
+func WithShardPlan(p ShardPlan) Option {
+	return func(c *Config) {
+		c.Engine = EngineSharded
+		c.Plan = p
+	}
+}
+
+// WithWorkers sets how many OS threads drive the shard kernels under
+// EngineSharded. Any value — including the default 0 (= GOMAXPROCS) —
+// produces byte-identical results; the setting only changes wall-clock
+// time. Ignored by the sequential engine.
+func WithWorkers(n int) Option {
+	return func(c *Config) { c.Workers = n }
+}
+
+// WithShards sets the worker count for sharded parallel execution.
+//
+// Deprecated: renamed to WithWorkers (a "shard" is a cell of the
+// partition, not an OS thread).
+func WithShards(n int) Option { return WithWorkers(n) }
 
 // New builds a cluster from functional options:
 //
 //	c := sanft.New(
 //		sanft.WithStar(8),
-//		sanft.WithFaultTolerance(sanft.DefaultParams()),
+//		sanft.WithFaultTolerance(),
 //		sanft.WithErrorRate(1e-3),
 //		sanft.WithSampling(time.Millisecond),
 //	)
 //
 // With no topology option, a two-host star is built; the default seed
-// is 1. For struct-style configuration use NewFromConfig.
+// is 1. The same constructor builds sharded parallel clusters:
+//
+//	s := sanft.New(
+//		sanft.WithStar(8),
+//		sanft.WithEngine(sanft.EngineSharded), // or WithShardPlan(...)
+//		sanft.WithWorkers(4),
+//	)
 func New(opts ...Option) *Cluster {
 	cfg := Config{Seed: 1}
 	for _, o := range opts {
@@ -214,7 +261,8 @@ func New(opts ...Option) *Cluster {
 	return core.New(cfg)
 }
 
-// NewFromConfig builds a cluster from an explicit Config struct. Prefer
-// New with options for new code; this remains for programmatic
-// construction where a Config is assembled elsewhere.
+// NewFromConfig builds a cluster from an explicit Config struct.
+//
+// Deprecated: use New with options (WithEngine/WithShardPlan cover the
+// cases that once required struct-style construction).
 func NewFromConfig(cfg Config) *Cluster { return core.New(cfg) }

@@ -44,14 +44,16 @@ func gateDump(t testing.TB, seed int64, workers int, extra ...Option) []byte {
 	opts := []Option{
 		WithTopology(f.Net, nil),
 		WithSeed(seed),
-		WithFaultTolerance(RetransConfig{
+		WithRetrans(RetransConfig{
 			QueueSize:         16,
 			Interval:          time.Millisecond,
 			PermFailThreshold: 50 * time.Millisecond,
 		}),
-		WithShards(workers),
+		WithFaultTolerance(),
+		WithEngine(EngineSharded),
+		WithWorkers(workers),
 	}
-	s := NewSharded(append(opts, extra...)...)
+	s := New(append(opts, extra...)...)
 	// Flap two distinct trunks while traffic is in flight: packets die on
 	// dead links mid-run and the retransmission protocol recovers them.
 	s.FlapTrunk(0, 2*time.Millisecond, 3*time.Millisecond)
@@ -64,7 +66,7 @@ func gateDump(t testing.TB, seed int64, workers int, extra ...Option) []byte {
 	// Per-shard RNG discipline: the post-run generator state must also be
 	// worker-independent (draws consumed only by shard-local events).
 	b.WriteString("--- rng ---\n")
-	for i := range s.Hosts {
+	for i := 0; i < s.Shards(); i++ {
 		fmt.Fprintf(&b, "shard %d: %d\n", i, s.CellKernel(i).Rand().Int63())
 	}
 	s.Stop()
@@ -129,6 +131,31 @@ func TestParallelByteIdenticalLiveness(t *testing.T) {
 	}
 }
 
+// TestParallelByteIdenticalCoarseShards re-runs the differential gate
+// with a coarse partition (three hosts per shard): the shard plan — not
+// the worker count — defines the semantics, so within one plan every
+// worker count must produce the same bytes. The coarse dump legitimately
+// differs from the fine-partition dump (different shard count, exchange
+// counts, trace merge order); what must not vary is the worker count.
+func TestParallelByteIdenticalCoarseShards(t *testing.T) {
+	coarse := []Option{WithShardPlan(ShardPlan{HostsPerShard: 3})}
+	ref := gateDump(t, 7, 1, coarse...)
+	for _, w := range []int{2, 4} {
+		got := gateDump(t, 7, w, coarse...)
+		if !bytes.Equal(ref, got) {
+			diffLine := firstDiffLine(ref, got)
+			t.Fatalf("coarse workers=%d output differs from workers=1 (first differing line %d):\n  seq: %s\n  par: %s",
+				w, diffLine.n, diffLine.a, diffLine.b)
+		}
+	}
+	if !bytes.Contains(ref, []byte("deliver")) {
+		t.Fatal("coarse gate scenario delivered no frames")
+	}
+	if bytes.Equal(ref, gateDump(t, 8, 1, coarse...)) {
+		t.Fatal("different seeds produced identical coarse dumps")
+	}
+}
+
 type lineDiff struct {
 	n    int
 	a, b string
@@ -158,15 +185,17 @@ func TestParallelRunToRunDeterministic(t *testing.T) {
 // every message by quiesce.
 func TestParallelDeliversAllTraffic(t *testing.T) {
 	f := NewFig2()
-	s := NewSharded(
+	s := New(
 		WithTopology(f.Net, nil),
 		WithSeed(3),
-		WithFaultTolerance(RetransConfig{
+		WithRetrans(RetransConfig{
 			QueueSize:         16,
 			Interval:          time.Millisecond,
 			PermFailThreshold: 50 * time.Millisecond,
 		}),
-		WithShards(2),
+		WithFaultTolerance(),
+		WithEngine(EngineSharded),
+		WithWorkers(2),
 	)
 	s.FlapTrunk(0, 2*time.Millisecond, 3*time.Millisecond)
 	flows := gateFlows(f)
@@ -203,11 +232,11 @@ func TestParallelDeliversAllTraffic(t *testing.T) {
 // (root seed, shard index) via parsim.ShardSeed — independent kernels
 // whose streams never depend on worker scheduling.
 func TestShardSeedDiscipline(t *testing.T) {
-	s := NewSharded(WithStar(4), WithSeed(99), WithShards(2))
+	s := New(WithStar(4), WithSeed(99), WithEngine(EngineSharded), WithWorkers(2))
 	defer s.Stop()
 	for i := range s.Hosts {
 		want := parsim.ShardSeed(99, i)
-		fresh := NewSharded(WithStar(4), WithSeed(99), WithShards(1))
+		fresh := New(WithStar(4), WithSeed(99), WithEngine(EngineSharded), WithWorkers(1))
 		got := fresh.CellKernel(i).Rand().Int63()
 		ref := s.CellKernel(i).Rand().Int63()
 		fresh.Stop()

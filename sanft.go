@@ -147,9 +147,16 @@ func DefaultParams() RetransConfig {
 
 // Sharded parallel execution types.
 type (
-	// ShardedCluster runs one simulation partitioned into per-host
-	// shards under the conservative parallel engine; outputs are
-	// byte-identical for every worker count. Build with NewSharded.
+	// EngineKind selects a cluster's execution engine; see WithEngine.
+	EngineKind = core.EngineKind
+	// ShardPlan partitions hosts into shards for EngineSharded; see
+	// WithShardPlan.
+	ShardPlan = core.ShardPlan
+	// ShardedCluster is the historical name for a Cluster built with
+	// EngineSharded.
+	//
+	// Deprecated: use Cluster — they have been one type since the
+	// constructors were unified.
 	ShardedCluster = core.ShardedCluster
 	// Flow is one directed traffic stream of a sharded workload.
 	Flow = core.Flow
@@ -158,28 +165,32 @@ type (
 	Delivery = core.Delivery
 )
 
+// Engine kinds, re-exported for WithEngine.
+const (
+	EngineSequential = core.EngineSequential
+	EngineSharded    = core.EngineSharded
+)
+
 // NewSharded builds a sharded parallel cluster from the same options as
-// New (plus WithShards for the worker count). The partition is one shard
-// per host; cross-shard packets exchange at conservative epoch barriers
-// whose lookahead is the minimum fabric traversal latency.
+// New.
+//
+// Deprecated: use New(append(opts, WithEngine(EngineSharded))...) — one
+// constructor builds both engines; WithShardPlan and WithWorkers shape
+// the sharded run.
 func NewSharded(opts ...Option) *ShardedCluster {
-	cfg := Config{Seed: 1}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	return core.NewSharded(cfg)
+	return New(append(opts, WithEngine(EngineSharded))...)
 }
 
 // NewStar builds a cluster of n hosts on one full-crossbar switch.
 //
 // Deprecated: use New with options, e.g.
-// New(WithStar(n), WithFaultTolerance(rc), WithErrorRate(p)); pass
-// WithRetransParams instead of WithFaultTolerance for the non-FT
-// baseline (the queue size still bounds the send-buffer pool).
+// New(WithStar(n), WithRetrans(rc), WithFaultTolerance(), WithErrorRate(p));
+// drop WithFaultTolerance for the non-FT baseline (WithRetrans still
+// applies — the queue size bounds the send-buffer pool either way).
 func NewStar(n int, ft bool, rc RetransConfig, errorRate float64) *Cluster {
-	opts := []Option{WithStar(n), WithRetransParams(rc), WithErrorRate(errorRate)}
+	opts := []Option{WithStar(n), WithRetrans(rc), WithErrorRate(errorRate)}
 	if ft {
-		opts = append(opts, WithFaultTolerance(rc))
+		opts = append(opts, WithFaultTolerance())
 	}
 	return New(opts...)
 }

@@ -131,7 +131,7 @@ func RunTraced(ts TraceSetup) (*TraceResult, error) {
 	} else {
 		opts := []Option{
 			WithStar(ts.Hosts),
-			WithFaultTolerance(DefaultParams()),
+			WithFaultTolerance(),
 			WithErrorRate(ts.ErrorRate),
 			WithSeed(ts.Seed),
 			WithFlightRecorder(fr),
