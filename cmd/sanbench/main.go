@@ -13,6 +13,7 @@
 //	sanbench -ablations        # piggyback + feedback-policy ablations
 //	sanbench -full             # paper-scale traffic (slow)
 //	sanbench -parallel         # parallel-engine scaling curve -> BENCH_parallel.json
+//	sanbench -compare old.json new.json   # flag speedup regressions between two reports
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"sanft"
+	"sanft/internal/benchcmp"
 	"sanft/internal/report"
 )
 
@@ -36,14 +38,32 @@ func main() {
 	date := flag.String("date", "", "run date stamped into the -parallel report (default: now, RFC 3339 UTC)")
 	asJSON := flag.Bool("json", false, "emit extension reports as JSON (with -extensions)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	compare := flag.Bool("compare", false, "compare two scaling reports: sanbench -compare old.json new.json")
+	tolerance := flag.Float64("tolerance", benchcmp.DefaultTolerance, "relative speedup drop treated as a regression by -compare")
+	warn := flag.Bool("warn", false, "with -compare: report regressions but exit 0 (CI warn-only mode)")
+	httpAddr := flag.String("http", "", "with -parallel: serve live telemetry (Prometheus /metrics, /debug/pprof, /progress) on this address")
+	profileOut := flag.String("profile-out", "", "with -parallel: write the full engine profiles (JSON) to this path")
+	profilePerfetto := flag.String("profile-perfetto", "", "with -parallel: record one extra untimed profiled run and write its wall-clock Perfetto trace here")
 	flag.Parse()
+
+	if *compare {
+		runCompare(flag.Args(), *tolerance, *warn)
+		return
+	}
 
 	if *parallel {
 		when := *date
 		if when == "" {
 			when = time.Now().UTC().Format(time.RFC3339)
 		}
-		runParallelBench(*seed, *parallelOut, when, *short)
+		runParallelBench(*seed, parallelOpts{
+			out:         *parallelOut,
+			date:        when,
+			short:       *short,
+			httpAddr:    *httpAddr,
+			profileOut:  *profileOut,
+			perfettoOut: *profilePerfetto,
+		})
 		return
 	}
 
@@ -96,6 +116,41 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("(regenerated in %v wall time)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runCompare is the -compare entrypoint: load two scaling reports, print
+// the per-configuration speedup deltas, and exit 1 on any regression
+// beyond the tolerance (unless -warn).
+func runCompare(args []string, tol float64, warn bool) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: sanbench -compare [-tolerance 0.10] [-warn] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := benchcmp.Load(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sanbench: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := benchcmp.Load(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sanbench: %v\n", err)
+		os.Exit(2)
+	}
+	ds := benchcmp.Compare(old, cur, tol)
+	fmt.Printf("old: %s (%s)\nnew: %s (%s)\n", args[0], old.Date, args[1], cur.Date)
+	if cur.Interrupted {
+		fmt.Println("note: new report is partial (run was interrupted)")
+	}
+	fmt.Print(benchcmp.Table(ds, tol).String())
+	if benchcmp.AnyRegression(ds) {
+		if warn {
+			fmt.Println("PERF WARNING: speedup regression beyond tolerance (warn-only mode)")
+			return
+		}
+		fmt.Println("PERF REGRESSION: speedup dropped beyond tolerance")
+		os.Exit(1)
+	}
+	fmt.Println("no speedup regressions")
 }
 
 func runAblations(opt sanft.Options) {

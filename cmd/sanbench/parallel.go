@@ -4,37 +4,76 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"sanft"
 	"sanft/internal/chaos"
 	"sanft/internal/core"
+	"sanft/internal/enginestat"
 	"sanft/internal/parsim"
 	"sanft/internal/proptest"
 	"sanft/internal/retrans"
 	"sanft/internal/topology"
 )
 
+// parallelOpts carries the -parallel flag set into the benchmark.
+type parallelOpts struct {
+	out         string // report path (BENCH_parallel.json)
+	date        string // stamp for the report's date field
+	short       bool   // CI smoke workload
+	httpAddr    string // live telemetry address, "" = off
+	profileOut  string // full engine-profile JSON path, "" = off
+	perfettoOut string // wall-clock Perfetto trace path, "" = off
+}
+
+// benchCtx is the shared run context: the SIGINT flag every sweep polls
+// between runs (a run in flight always completes — partial timings are
+// never reported), plus the optional live-telemetry hooks.
+type benchCtx struct {
+	stop atomic.Bool
+	prog *parsim.Progress
+	srv  *enginestat.Server
+}
+
+func (bc *benchCtx) interrupted() bool { return bc.stop.Load() }
+
+func (bc *benchCtx) jobDone(d time.Duration) {
+	if bc.prog != nil {
+		bc.prog.JobDone(int64(d))
+	}
+}
+
+func (bc *benchCtx) publishProfile(p *sanft.EngineProfile) {
+	if bc.srv != nil && p != nil {
+		bc.srv.PublishProfile(p)
+	}
+}
+
 // parallelReport is the BENCH_parallel.json schema: the scaling curve of
 // the parallel simulation engine and campaign pool. CPUModel, Cores,
 // GoVersion and Date record the machine and toolchain the numbers came
 // from — a speedup is bounded by the physical core count, so a
 // single-core baseline legitimately shows ~1.0 at every worker count.
+// Interrupted marks a report cut short by SIGINT: every row present was
+// fully timed, but configurations that never ran are simply absent.
 type parallelReport struct {
-	Name       string        `json:"name"`
-	Generated  string        `json:"generated_by"`
-	Date       string        `json:"date"`
-	CPUModel   string        `json:"cpu_model"`
-	Cores      int           `json:"cores"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	GoVersion  string        `json:"go_version"`
-	Short      bool          `json:"short,omitempty"`
-	Note       string        `json:"note"`
-	Engine     []engineRow   `json:"engine_scaling"`
-	Campaign   []campaignRow `json:"campaign_scaling"`
-	Proptest   []proptestRow `json:"proptest_scaling"`
+	Name        string        `json:"name"`
+	Generated   string        `json:"generated_by"`
+	Date        string        `json:"date"`
+	CPUModel    string        `json:"cpu_model"`
+	Cores       int           `json:"cores"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	GoVersion   string        `json:"go_version"`
+	Short       bool          `json:"short,omitempty"`
+	Interrupted bool          `json:"interrupted,omitempty"`
+	Note        string        `json:"note"`
+	Engine      []engineRow   `json:"engine_scaling"`
+	Campaign    []campaignRow `json:"campaign_scaling"`
+	Proptest    []proptestRow `json:"proptest_scaling"`
 }
 
 type engineRow struct {
@@ -49,6 +88,10 @@ type engineRow struct {
 	// workers=1), which is what coarse shards are buying against.
 	Speedup       float64 `json:"speedup"`
 	SpeedupVsBase float64 `json:"speedup_vs_base"`
+	// Profile is the engine self-profiler's summary of the best
+	// (reported) run: busy/stall/steal fractions, steal hit rate, pool
+	// hit rates. Wall-clock observation only — it never affects results.
+	Profile *sanft.EngineProfileSummary `json:"profile,omitempty"`
 }
 
 type campaignRow struct {
@@ -64,6 +107,14 @@ type proptestRow struct {
 	Cases   int     `json:"cases"`
 	WallMS  float64 `json:"wall_ms"`
 	Speedup float64 `json:"speedup"`
+}
+
+// engineProfileEntry is one -profile-out row: the full (unsummarized)
+// engine profile of a configuration's best run.
+type engineProfileEntry struct {
+	Plan    string               `json:"plan"`
+	Workers int                  `json:"workers"`
+	Profile *sanft.EngineProfile `json:"profile"`
 }
 
 // cpuModel reads the CPU model string from /proc/cpuinfo (Linux); other
@@ -85,32 +136,68 @@ func cpuModel() string {
 }
 
 // runParallelBench measures the three parallel paths and writes the
-// scaling report to out. The date stamp is passed in so nothing inside
-// the measurement path consults wall-clock identity; short trims the
-// workload for CI smoke runs.
-func runParallelBench(seed int64, out, date string, short bool) {
+// scaling report to o.out. The date stamp is passed in so nothing inside
+// the measurement path consults wall-clock identity; o.short trims the
+// workload for CI smoke runs. SIGINT stops the sweep at the next run
+// boundary and still writes the report, marked "interrupted": true, then
+// exits 130 — a cancelled overnight run keeps the rows it finished.
+func runParallelBench(seed int64, o parallelOpts) {
 	rep := parallelReport{
 		Name:       "parallel-scaling",
 		Generated:  "sanbench -parallel",
-		Date:       date,
+		Date:       o.date,
 		CPUModel:   cpuModel(),
 		Cores:      runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
-		Short:      short,
+		Short:      o.short,
 		Note: "engine_scaling: sharded 16-host 4-switch chain (fine 1-host and coarse by-switch 4-host shards), conservative epochs; " +
 			"campaign_scaling: replicas of a 16-host link-flap chaos campaign through the worker pool; " +
 			"proptest_scaling: lockstep differential cases through the pool. " +
-			"All outputs are byte-identical across worker counts; speedup is bounded by 'cores'.",
+			"All outputs are byte-identical across worker counts; speedup is bounded by 'cores'. " +
+			"Engine rows run with the self-profiler enabled (uniform across configurations, so speedups are unaffected); " +
+			"'profile' summarizes each configuration's best run.",
+	}
+
+	bc := &benchCtx{}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	go func() {
+		if _, ok := <-sig; !ok {
+			return
+		}
+		signal.Stop(sig) // second ^C kills the process the normal way
+		bc.stop.Store(true)
+		fmt.Fprintln(os.Stderr, "sanbench: interrupted — finishing the run in flight, then writing a partial report")
+	}()
+
+	if o.httpAddr != "" {
+		srv, err := enginestat.NewServer(o.httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sanbench: telemetry listen on %s: %v\n", o.httpAddr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		bc.srv = srv
+		bc.prog = &parsim.Progress{}
+		// Total runs across the three sweeps: engine has two shard plans
+		// per worker count, campaign and proptest one configuration each.
+		wc := len(benchWorkerCounts(o.short))
+		bc.prog.Begin(benchReps(o.short) * 4 * wc)
+		srv.SetProgress(bc.prog.Snapshot)
+		fmt.Printf("  telemetry: http://%s  (/metrics /progress /profile /debug/pprof)\n", srv.Addr())
 	}
 
 	fmt.Println("parallel scaling benchmark")
 	fmt.Printf("  machine: %s, %d core(s), GOMAXPROCS %d, %s\n",
 		rep.CPUModel, rep.Cores, rep.GoMaxProcs, rep.GoVersion)
 
-	rep.Engine = benchEngine(seed, short)
-	rep.Campaign = benchCampaign(seed, short)
-	rep.Proptest = benchProptest(seed, short)
+	var profs []engineProfileEntry
+	rep.Engine, profs = benchEngine(bc, seed, o.short)
+	rep.Campaign = benchCampaign(bc, seed, o.short)
+	rep.Proptest = benchProptest(bc, seed, o.short)
+	rep.Interrupted = bc.interrupted()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -118,11 +205,34 @@ func runParallelBench(seed int64, out, date string, short bool) {
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "sanbench: write %s: %v\n", out, err)
+	if err := os.WriteFile(o.out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sanbench: write %s: %v\n", o.out, err)
 		os.Exit(1)
 	}
-	fmt.Printf("  wrote %s\n", out)
+	fmt.Printf("  wrote %s\n", o.out)
+
+	if o.profileOut != "" && len(profs) > 0 {
+		pdata, err := json.MarshalIndent(profs, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sanbench: %v\n", err)
+			os.Exit(1)
+		}
+		pdata = append(pdata, '\n')
+		if err := os.WriteFile(o.profileOut, pdata, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sanbench: write %s: %v\n", o.profileOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s (full engine profiles)\n", o.profileOut)
+	}
+
+	if o.perfettoOut != "" && !rep.Interrupted {
+		writePerfettoTrace(o.perfettoOut, seed, o.short)
+	}
+
+	if rep.Interrupted {
+		fmt.Println("  (interrupted: partial report, marked \"interrupted\": true)")
+		os.Exit(130)
+	}
 }
 
 func benchWorkerCounts(short bool) []int {
@@ -152,73 +262,105 @@ func benchReps(short bool) int {
 // repetitions round-robin (rep 1 of every configuration, then rep 2 of
 // every configuration, ...) so that slow windows on a shared host are
 // sampled by all configurations rather than swallowing one of them
-// whole. Returns each configuration's best wall time and the auxiliary
-// result from that best run.
-func minWallSweep[T any](reps, n int, f func(ci int) (time.Duration, T)) ([]time.Duration, []T) {
+// whole. Returns each configuration's best wall time, the auxiliary
+// result from that best run, and which configurations were measured at
+// all — on SIGINT the sweep stops at the next run boundary, so a
+// configuration either has a complete timing or none (round-robin order
+// means rep 1 covers every configuration before rep 2 starts anywhere).
+func minWallSweep[T any](bc *benchCtx, reps, n int, f func(ci int) (time.Duration, T)) ([]time.Duration, []T, []bool) {
 	walls := make([]time.Duration, n)
 	aux := make([]T, n)
+	measured := make([]bool, n)
 	for r := 0; r < reps; r++ {
 		for ci := 0; ci < n; ci++ {
+			if bc.interrupted() {
+				return walls, aux, measured
+			}
 			w, a := f(ci)
-			if r == 0 || w < walls[ci] {
-				walls[ci], aux[ci] = w, a
+			bc.jobDone(w)
+			if !measured[ci] || w < walls[ci] {
+				walls[ci], aux[ci], measured[ci] = w, a, true
 			}
 		}
 	}
-	return walls, aux
+	return walls, aux, measured
 }
 
-// benchEngine times the sharded engine itself: a 16-host 4-switch
-// redundant chain (hosts clustered behind switches, as a real SAN is
-// wired), ring plus cross-cutting flows, fixed horizon — only the shard
-// plan and the worker count vary. The coarse plan groups each switch's
-// hosts into one shard: intra-switch traffic never crosses a barrier and
-// the cross-shard lookahead widens to the multi-switch traversal, so
-// epochs are fewer and fatter — the fixed-cost win coarse shards exist
-// for.
-func benchEngine(seed int64, short bool) []engineRow {
-	const hosts = 16
+// engineWorkload is the fixed traffic pattern every engine configuration
+// runs: only the shard plan and worker count vary between rows.
+type engineWorkload struct {
+	msgs    int
+	gap     time.Duration
+	horizon time.Duration
+}
+
+func engineWorkloadFor(short bool) engineWorkload {
 	// 20 µs inter-message gap keeps many frames in flight per lookahead
 	// window; sparser traffic degenerates to ~2 events/epoch and the
 	// barrier fixed cost swamps any worker-count effect.
-	msgs, gap, horizon := 60, 20*time.Microsecond, 120*time.Millisecond
+	wl := engineWorkload{msgs: 60, gap: 20 * time.Microsecond, horizon: 120 * time.Millisecond}
 	if short {
-		msgs, horizon = 8, 20*time.Millisecond
+		wl.msgs, wl.horizon = 8, 20*time.Millisecond
 	}
-	type engineAux struct {
-		ev     uint64
-		shards int
+	return wl
+}
+
+type engineAux struct {
+	ev     uint64
+	shards int
+	prof   *sanft.EngineProfile
+}
+
+// engineRunOnce builds and runs one engine-benchmark configuration: a
+// 16-host 4-switch redundant chain (hosts clustered behind switches, as
+// a real SAN is wired), ring plus cross-cutting flows, fixed horizon.
+// Profiling is always on (uniform overhead cancels out of speedups);
+// spanCap > 0 additionally records per-worker spans for Perfetto export.
+func engineRunOnce(seed int64, plan sanft.ShardPlan, w int, wl engineWorkload, spanCap int) (time.Duration, engineAux) {
+	const hosts = 16
+	nw, hostRows := topology.Chain(4, 4, 2)
+	var hlist []topology.NodeID
+	for _, row := range hostRows {
+		hlist = append(hlist, row...)
 	}
-	runOnce := func(plan sanft.ShardPlan, w int) (time.Duration, engineAux) {
-		nw, hostRows := topology.Chain(4, 4, 2)
-		var hlist []topology.NodeID
-		for _, row := range hostRows {
-			hlist = append(hlist, row...)
-		}
-		s := sanft.New(
-			sanft.WithTopology(nw, hlist),
-			sanft.WithSeed(seed),
-			sanft.WithRetrans(sanft.RetransConfig{QueueSize: 16, Interval: time.Millisecond}),
-			sanft.WithFaultTolerance(),
-			sanft.WithShardPlan(plan),
-			sanft.WithWorkers(w),
+	s := sanft.New(
+		sanft.WithTopology(nw, hlist),
+		sanft.WithSeed(seed),
+		sanft.WithRetrans(sanft.RetransConfig{QueueSize: 16, Interval: time.Millisecond}),
+		sanft.WithFaultTolerance(),
+		sanft.WithShardPlan(plan),
+		sanft.WithWorkers(w),
+		sanft.WithEngineProfiling(),
+	)
+	if spanCap > 0 {
+		s.ProfileSpans(spanCap)
+	}
+	var flows []sanft.Flow
+	for i := 0; i < hosts; i++ {
+		flows = append(flows,
+			sanft.Flow{Src: s.Hosts[i], Dst: s.Hosts[(i+1)%hosts]},
+			sanft.Flow{Src: s.Hosts[i], Dst: s.Hosts[(i+5)%hosts]},
 		)
-		var flows []sanft.Flow
-		for i := 0; i < hosts; i++ {
-			flows = append(flows,
-				sanft.Flow{Src: s.Hosts[i], Dst: s.Hosts[(i+1)%hosts]},
-				sanft.Flow{Src: s.Hosts[i], Dst: s.Hosts[(i+5)%hosts]},
-			)
-		}
-		s.StartFlows(flows, msgs, 1024, gap)
-		start := time.Now()
-		s.RunFor(horizon)
-		wall := time.Since(start)
-		ev := s.TotalExecuted()
-		shards := s.Shards()
-		s.Stop()
-		return wall, engineAux{ev: ev, shards: shards}
 	}
+	s.StartFlows(flows, wl.msgs, 1024, wl.gap)
+	start := time.Now()
+	s.RunFor(wl.horizon)
+	wall := time.Since(start)
+	ev := s.TotalExecuted()
+	shards := s.Shards()
+	s.Stop()
+	return wall, engineAux{ev: ev, shards: shards, prof: s.EngineProfile()}
+}
+
+// benchEngine times the sharded engine itself across shard plans and
+// worker counts. The coarse plan groups each switch's hosts into one
+// shard: intra-switch traffic never crosses a barrier and the
+// cross-shard lookahead widens to the multi-switch traversal, so epochs
+// are fewer and fatter — the fixed-cost win coarse shards exist for.
+// Alongside the scaling rows it returns each configuration's best-run
+// engine profile for -profile-out.
+func benchEngine(bc *benchCtx, seed int64, short bool) ([]engineRow, []engineProfileEntry) {
+	wl := engineWorkloadFor(short)
 	plans := []struct {
 		name string
 		plan sanft.ShardPlan
@@ -236,13 +378,19 @@ func benchEngine(seed int64, short bool) []engineRow {
 			cfgs = append(cfgs, engCfg{plan: pi, w: w})
 		}
 	}
-	walls, auxes := minWallSweep(benchReps(short), len(cfgs), func(ci int) (time.Duration, engineAux) {
-		return runOnce(plans[cfgs[ci].plan].plan, cfgs[ci].w)
+	walls, auxes, measured := minWallSweep(bc, benchReps(short), len(cfgs), func(ci int) (time.Duration, engineAux) {
+		wall, aux := engineRunOnce(seed, plans[cfgs[ci].plan].plan, cfgs[ci].w, wl, 0)
+		bc.publishProfile(aux.prof)
+		return wall, aux
 	})
 
 	var rows []engineRow
+	var profs []engineProfileEntry
 	var base, globalBase time.Duration
 	for ci, c := range cfgs {
+		if !measured[ci] {
+			continue
+		}
 		wall, aux := walls[ci], auxes[ci]
 		if c.w == 1 {
 			base = wall
@@ -251,7 +399,7 @@ func benchEngine(seed int64, short bool) []engineRow {
 			}
 		}
 		p := plans[c.plan]
-		rows = append(rows, engineRow{
+		row := engineRow{
 			Plan:          p.name,
 			Shards:        aux.shards,
 			Workers:       c.w,
@@ -260,23 +408,54 @@ func benchEngine(seed int64, short bool) []engineRow {
 			EventsPerSec:  float64(aux.ev) / wall.Seconds(),
 			Speedup:       speedup(base, wall),
 			SpeedupVsBase: speedup(globalBase, wall),
-		})
+		}
+		if aux.prof != nil {
+			sum := aux.prof.Summarize()
+			row.Profile = &sum
+			profs = append(profs, engineProfileEntry{Plan: p.name, Workers: c.w, Profile: aux.prof})
+		}
+		rows = append(rows, row)
 		fmt.Printf("  engine   %-14s workers=%d  %8.1f ms  %9d events  %12.0f ev/s  speedup %.2f (vs base %.2f)\n",
 			p.name, c.w, roundMS(wall), aux.ev, float64(aux.ev)/wall.Seconds(), speedup(base, wall), speedup(globalBase, wall))
 	}
-	return rows
+	return rows, profs
+}
+
+// writePerfettoTrace records one extra untimed run of the fine-plan
+// engine configuration at full parallelism with per-worker span logging
+// on, and writes the wall-clock Perfetto (Chrome trace JSON) file.
+func writePerfettoTrace(path string, seed int64, short bool) {
+	_, aux := engineRunOnce(seed, sanft.ShardPlan{}, runtime.GOMAXPROCS(0), engineWorkloadFor(short), 1<<16)
+	if aux.prof == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sanbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := aux.prof.WriteChromeTrace(f); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "sanbench: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "sanbench: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("  wrote %s (engine wall-clock trace, %d spans)\n", path, len(aux.prof.Spans))
 }
 
 // benchCampaign times the campaign pool: independent replicas (seeds
 // seed..seed+n-1) of a 16-host link-flap chaos campaign, executed through
 // parsim.Pool at each worker count.
-func benchCampaign(seed int64, short bool) []campaignRow {
+func benchCampaign(bc *benchCtx, seed int64, short bool) []campaignRow {
 	replicas := 8
 	if short {
 		replicas = 4
 	}
 	counts := benchWorkerCounts(short)
-	walls, totals := minWallSweep(benchReps(short), len(counts), func(ci int) (time.Duration, int) {
+	walls, totals, measured := minWallSweep(bc, benchReps(short), len(counts), func(ci int) (time.Duration, int) {
 		start := time.Now()
 		delivered := parsim.Map(parsim.Pool{Workers: counts[ci]}, replicas, func(i int) int {
 			return run16HostCampaign(seed + int64(i))
@@ -292,6 +471,9 @@ func benchCampaign(seed int64, short bool) []campaignRow {
 	var rows []campaignRow
 	var base time.Duration
 	for ci, w := range counts {
+		if !measured[ci] {
+			continue
+		}
 		wall, total := walls[ci], totals[ci]
 		if w == 1 {
 			base = wall
@@ -346,13 +528,13 @@ func run16HostCampaign(seed int64) int {
 
 // benchProptest times the property-testing pool: lockstep differential
 // cases per worker count.
-func benchProptest(seed int64, short bool) []proptestRow {
+func benchProptest(bc *benchCtx, seed int64, short bool) []proptestRow {
 	cases := 1000
 	if short {
 		cases = 200
 	}
 	counts := benchWorkerCounts(short)
-	walls, _ := minWallSweep(benchReps(short), len(counts), func(ci int) (time.Duration, struct{}) {
+	walls, _, measured := minWallSweep(bc, benchReps(short), len(counts), func(ci int) (time.Duration, struct{}) {
 		start := time.Now()
 		parsim.Map(parsim.Pool{Workers: counts[ci]}, cases, func(i int) bool {
 			return proptest.RunLockstep(proptest.GenOps(seed+int64(i)), proptest.MutNone) != nil
@@ -363,6 +545,9 @@ func benchProptest(seed int64, short bool) []proptestRow {
 	var rows []proptestRow
 	var base time.Duration
 	for ci, w := range counts {
+		if !measured[ci] {
+			continue
+		}
 		wall := walls[ci]
 		if w == 1 {
 			base = wall

@@ -34,14 +34,18 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"sanft/internal/chaos"
 	"sanft/internal/core"
+	"sanft/internal/enginestat"
+	"sanft/internal/metrics"
 	"sanft/internal/parsim"
 	"sanft/internal/report"
 	"sanft/internal/trace"
@@ -57,6 +61,10 @@ func main() {
 	events := flag.Bool("events", false, "print the full event log per campaign")
 	asJSON := flag.Bool("json", false, "emit one JSON object per campaign instead of text")
 	list := flag.Bool("list", false, "list available campaigns and exit")
+	httpAddr := flag.String("http", "",
+		"serve live telemetry on this address during the grid: Prometheus /metrics (cumulative across finished runs), /progress, /debug/pprof")
+	httpHold := flag.Duration("http-hold", 0,
+		"with -http: keep the telemetry server up this long after the grid finishes (final scrape window)")
 	flag.Parse()
 
 	all := chaos.Campaigns()
@@ -113,11 +121,41 @@ func main() {
 		}
 	}
 
+	// Live telemetry (-http): campaign clusters are built and torn down per
+	// job, so /metrics serves a cumulative registry — each finished run's
+	// metrics merge into it (on the worker goroutine, while that cluster is
+	// quiescent) and the merged Prometheus render is republished. /progress
+	// tracks the grid through the pool's Progress hook.
+	var srv *enginestat.Server
+	var agg *metrics.Observer
+	var aggMu sync.Mutex
+	pool := parsim.Pool{Workers: *workers}
+	if *httpAddr != "" {
+		var err error
+		srv, err = enginestat.NewServer(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sanchaos: telemetry listen on %s: %v\n", *httpAddr, err)
+			os.Exit(1)
+		}
+		agg = metrics.NewObserver(metrics.Config{})
+		prog := &parsim.Progress{}
+		prog.Begin(len(jobs))
+		pool.Progress = prog
+		srv.SetProgress(prog.Snapshot)
+		fmt.Fprintf(os.Stderr, "sanchaos: telemetry on http://%s (/metrics /progress /debug/pprof)\n", srv.Addr())
+	}
+
 	start := time.Now()
-	reports := parsim.Map(parsim.Pool{Workers: *workers}, len(jobs), func(i int) *chaos.Report {
-		return jobs[i].c.RunInstrumented(jobs[i].seed, func(cl *core.Cluster) {
-			cl.InstallTracer(trace.NewFlightRecorder(8192))
+	reports := parsim.Map(pool, len(jobs), func(i int) *chaos.Report {
+		var cl *core.Cluster
+		rep := jobs[i].c.RunInstrumented(jobs[i].seed, func(c *core.Cluster) {
+			cl = c
+			c.InstallTracer(trace.NewFlightRecorder(8192))
 		})
+		if srv != nil && cl != nil {
+			publishMerged(srv, agg, &aggMu, cl)
+		}
+		return rep
 	})
 
 	failed := 0
@@ -145,8 +183,33 @@ func main() {
 		fmt.Printf("%d/%d campaign runs passed (%d workers, %v wall time)\n",
 			len(jobs)-failed, len(jobs), *workers, time.Since(start).Round(time.Millisecond))
 	}
+	if srv != nil {
+		if *httpHold > 0 {
+			fmt.Fprintf(os.Stderr, "sanchaos: holding telemetry server %v for a final scrape\n", *httpHold)
+			time.Sleep(*httpHold)
+		}
+		srv.Close()
+	}
 	if failed > 0 {
 		os.Exit(1)
+	}
+}
+
+// publishMerged folds one finished (quiescent) campaign cluster's metrics
+// into the cumulative registry and republishes the Prometheus render. The
+// mutex serializes pool workers; HTTP handlers only ever see the published
+// snapshot, never the registry itself.
+func publishMerged(srv *enginestat.Server, agg *metrics.Observer, mu *sync.Mutex, cl *core.Cluster) {
+	mu.Lock()
+	defer mu.Unlock()
+	if cl.Sharded() {
+		agg.Registry().MergeFrom(cl.MergedObserver().Registry())
+	} else {
+		agg.Registry().MergeFrom(cl.Observer().Registry())
+	}
+	var buf bytes.Buffer
+	if err := agg.WritePrometheus(&buf); err == nil {
+		srv.PublishMetrics(buf.Bytes())
 	}
 }
 

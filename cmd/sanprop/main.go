@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sanft/internal/enginestat"
 	"sanft/internal/parsim"
 	"sanft/internal/proptest"
 	"sanft/internal/report"
@@ -56,6 +57,10 @@ func main() {
 	artifacts := flag.String("artifacts", "sanprop-failures", "directory for shrunk failure reproducers")
 	replay := flag.String("replay", "", "replay a corpus file (.ops/.sim) or a single integer seed, then exit")
 	asJSON := flag.Bool("json", false, "emit the final report as JSON")
+	httpAddr := flag.String("http", "",
+		"serve live campaign progress (/progress, /debug/pprof) on this address while cases run")
+	httpHold := flag.Duration("http-hold", 0,
+		"with -http: keep the telemetry server up this long after the campaign finishes")
 	flag.Parse()
 
 	if *workers == 0 {
@@ -81,13 +86,37 @@ func main() {
 		os.Exit(replayOne(*replay, runLockstep, runSim, mut))
 	}
 
+	// Live telemetry (-http): both campaigns share one progress tracker,
+	// armed with the whole case budget so /progress spans the full run.
+	var srv *enginestat.Server
+	var prog *parsim.Progress
+	if *httpAddr != "" {
+		var err error
+		srv, err = enginestat.NewServer(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sanprop: telemetry listen on %s: %v\n", *httpAddr, err)
+			os.Exit(2)
+		}
+		prog = &parsim.Progress{}
+		total := 0
+		if runLockstep {
+			total += *n
+		}
+		if runSim {
+			total += *n
+		}
+		prog.Begin(total)
+		srv.SetProgress(prog.Snapshot)
+		fmt.Fprintf(os.Stderr, "sanprop: telemetry on http://%s (/progress /debug/pprof)\n", srv.Addr())
+	}
+
 	var failures int
 	var rows [][]string
 	if runLockstep {
-		rows = append(rows, lockstepCampaign(*seed, *n, mut, *artifacts, &failures, *workers))
+		rows = append(rows, lockstepCampaign(*seed, *n, mut, *artifacts, &failures, *workers, prog))
 	}
 	if runSim {
-		rows = append(rows, simCampaign(*seed, *n, *artifacts, &failures, *workers))
+		rows = append(rows, simCampaign(*seed, *n, *artifacts, &failures, *workers, prog))
 	}
 
 	tbl := report.Table{
@@ -102,6 +131,13 @@ func main() {
 		}
 	} else {
 		fmt.Print(tbl.String())
+	}
+	if srv != nil {
+		if *httpHold > 0 {
+			fmt.Fprintf(os.Stderr, "sanprop: holding telemetry server %v for a final scrape\n", *httpHold)
+			time.Sleep(*httpHold)
+		}
+		srv.Close()
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "sanprop: %d failing case(s); reproducers in %s\n", failures, *artifacts)
@@ -122,10 +158,10 @@ func parseMutationFlag(s string) (proptest.Mutation, error) {
 // workers > 1) and returns a report row. The fast pass only records
 // which seeds failed; shrinking and artifact writing happen in a
 // sequential post-pass so output is identical for any worker count.
-func lockstepCampaign(seed int64, n int, mut proptest.Mutation, dir string, failures *int, workers int) []string {
+func lockstepCampaign(seed int64, n int, mut proptest.Mutation, dir string, failures *int, workers int, prog *parsim.Progress) []string {
 	start := time.Now()
 	var done atomic.Int64
-	failedCase := parsim.Map(parsim.Pool{Workers: workers}, n, func(i int) bool {
+	failedCase := parsim.Map(parsim.Pool{Workers: workers, Progress: prog}, n, func(i int) bool {
 		div := proptest.RunLockstep(proptest.GenOps(seed+int64(i)), mut)
 		progress("lockstep", int(done.Add(1)), n)
 		return div != nil
@@ -161,10 +197,10 @@ func lockstepCampaign(seed int64, n int, mut proptest.Mutation, dir string, fail
 // simCampaign runs n whole-simulator cases (through the pool when
 // workers > 1) and returns a report row. Shrinking is a sequential
 // post-pass, as in lockstepCampaign.
-func simCampaign(seed int64, n int, dir string, failures *int, workers int) []string {
+func simCampaign(seed int64, n int, dir string, failures *int, workers int, prog *parsim.Progress) []string {
 	start := time.Now()
 	var done atomic.Int64
-	failedCase := parsim.Map(parsim.Pool{Workers: workers}, n, func(i int) bool {
+	failedCase := parsim.Map(parsim.Pool{Workers: workers, Progress: prog}, n, func(i int) bool {
 		res := proptest.RunSim(proptest.GenSim(seed + int64(i)))
 		progress("sim", int(done.Add(1)), n)
 		return res.Failed()

@@ -1,0 +1,228 @@
+package sanft
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"sanft/internal/enginestat"
+)
+
+// profiledGateRun executes the reference parallel scenario with the
+// profiler on and returns the cluster's collected profile.
+func profiledGateRun(t *testing.T, workers int) *EngineProfile {
+	t.Helper()
+	f := NewFig2()
+	s := New(
+		WithTopology(f.Net, nil),
+		WithSeed(7),
+		WithRetrans(RetransConfig{
+			QueueSize:         16,
+			Interval:          time.Millisecond,
+			PermFailThreshold: 50 * time.Millisecond,
+		}),
+		WithFaultTolerance(),
+		WithEngine(EngineSharded),
+		WithWorkers(workers),
+		WithEngineProfiling(),
+	)
+	s.StartFlows(gateFlows(f), 8, 512, 200*time.Microsecond)
+	s.RunFor(40 * time.Millisecond)
+	s.Stop()
+	p := s.EngineProfile()
+	if p == nil {
+		t.Fatal("EngineProfile returned nil with profiling enabled")
+	}
+	return p
+}
+
+// TestEngineProfileOffByteIdentical is the differential gate of the
+// profiler: with profiling off vs on, and across worker counts with
+// profiling on, the complete observable output must stay byte-identical —
+// the profiler reads wall clocks but feeds nothing back.
+func TestEngineProfileOffByteIdentical(t *testing.T) {
+	base := gateDump(t, 7, 1)
+	for _, w := range []int{1, 2, 4} {
+		if got := gateDump(t, 7, w, WithEngineProfiling()); !bytes.Equal(got, base) {
+			t.Fatalf("profiled dump (workers=%d) diverged from unprofiled workers=1 baseline", w)
+		}
+	}
+}
+
+// TestEngineProfileAccountingInvariant pins the profiler's documented
+// invariant: for every worker that woke at all, the explained buckets
+// (busy + stall + steal + exchange) cover its awake wall-clock within
+// enginestat.Tolerance, and the coordinator's awake time equals the
+// engine's Run wall-clock. GOMAXPROCS is raised to 4 so the engine
+// actually spins up helpers even on small CI machines.
+func TestEngineProfileAccountingInvariant(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	p := profiledGateRun(t, 4)
+	if p.Engine.Epochs == 0 || p.Engine.RunWallNS <= 0 {
+		t.Fatalf("empty engine stats: %+v", p.Engine)
+	}
+	if p.TotalEvents() == 0 {
+		t.Fatal("no kernel events recorded")
+	}
+
+	checked := 0
+	for i := range p.Workers {
+		w := &p.Workers[i]
+		acc := w.BusyNS + w.StallNS + w.StealNS + w.ExchangeNS
+		if w.AwakeNS == 0 && acc == 0 {
+			continue // helper slot that never woke (GOMAXPROCS cap)
+		}
+		checked++
+		if w.AwakeNS <= 0 {
+			t.Fatalf("worker %d: accounted %dns with zero awake time", w.Worker, acc)
+		}
+		slack := float64(acc-w.AwakeNS) / float64(w.AwakeNS)
+		if slack < 0 {
+			slack = -slack
+		}
+		if slack > enginestat.Tolerance {
+			t.Errorf("worker %d: accounted %dns vs awake %dns — off by %.1f%%, tolerance %.0f%%",
+				w.Worker, acc, w.AwakeNS, slack*100, enginestat.Tolerance*100)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no worker recorded any activity")
+	}
+
+	// The coordinator is awake for exactly the time spent inside Run.
+	w0 := &p.Workers[0]
+	slack := float64(w0.AwakeNS-p.Engine.RunWallNS) / float64(p.Engine.RunWallNS)
+	if slack < 0 {
+		slack = -slack
+	}
+	if slack > enginestat.Tolerance {
+		t.Errorf("coordinator awake %dns vs run wall %dns — off by %.1f%%",
+			w0.AwakeNS, p.Engine.RunWallNS, slack*100)
+	}
+}
+
+// TestEngineProfileSequential: the sequential engine has no epoch loop to
+// account, but kernel counters and pool traffic still profile.
+func TestEngineProfileSequential(t *testing.T) {
+	s := New(WithStar(2), WithFaultTolerance(), WithEngineProfiling())
+	Latency(s, 64, 8)
+	s.Stop()
+	p := s.EngineProfile()
+	if p == nil {
+		t.Fatal("nil profile")
+	}
+	if p.Engine.Workers != 1 || p.Engine.Shards != 1 {
+		t.Fatalf("sequential shape: %+v", p.Engine)
+	}
+	if len(p.Kernels) != 1 || p.Kernels[0].Executed == 0 {
+		t.Fatalf("kernel counters missing: %+v", p.Kernels)
+	}
+	if p.Kernels[0].Scheduled < p.Kernels[0].Executed {
+		t.Fatalf("scheduled %d < executed %d", p.Kernels[0].Scheduled, p.Kernels[0].Executed)
+	}
+	var text bytes.Buffer
+	if err := p.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "kernels:") {
+		t.Fatalf("text report missing kernels:\n%s", text.String())
+	}
+}
+
+// TestTelemetryServerLive drives a cluster with the telemetry server
+// attached and scrapes it over real HTTP while the simulation owns the
+// registry: /metrics serves Prometheus text, /profile the engine profile,
+// /debug/pprof responds, and the published end state survives Stop.
+func TestTelemetryServerLive(t *testing.T) {
+	f := NewFig2()
+	s := New(
+		WithTopology(f.Net, nil),
+		WithSeed(7),
+		WithRetrans(RetransConfig{QueueSize: 16, Interval: time.Millisecond}),
+		WithFaultTolerance(),
+		WithEngine(EngineSharded),
+		WithWorkers(2),
+		WithEngineProfiling(),
+		WithTelemetryServer("127.0.0.1:0"),
+	)
+	srv := s.Telemetry()
+	if srv == nil {
+		t.Fatal("Telemetry() nil with WithTelemetryServer set")
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// The constructor publishes immediately, so a scrape before any run is
+	// already a valid exposition.
+	if code, _ := get("/metrics"); code != 200 {
+		t.Fatalf("/metrics before run: %d", code)
+	}
+
+	s.StartFlows(gateFlows(f), 8, 512, 200*time.Microsecond)
+	s.RunFor(10 * time.Millisecond)
+
+	// Between RunFor calls the cluster republishes; the scrape must carry
+	// real simulator metrics with exposition headers.
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "# TYPE") || !strings.Contains(body, "nic_") {
+		t.Fatalf("/metrics mid-campaign: %d\n%s", code, body)
+	}
+	if code, body := get("/profile"); code != 200 || !strings.Contains(body, "\"epochs\"") {
+		t.Fatalf("/profile: %d %s", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+
+	s.RunFor(30 * time.Millisecond)
+	s.Stop()
+
+	// The server outlives Stop so a final scrape sees the end state.
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "# TYPE") {
+		t.Fatalf("/metrics after Stop: %d\n%s", code, body)
+	}
+}
+
+// TestTelemetryServerSequential: on the sequential engine the publish
+// point is the observer's sample hook, so /metrics updates with sampling.
+func TestTelemetryServerSequential(t *testing.T) {
+	s := New(
+		WithStar(2),
+		WithFaultTolerance(),
+		WithSampling(time.Millisecond),
+		WithEngineProfiling(),
+		WithTelemetryServer("127.0.0.1:0"),
+	)
+	srv := s.Telemetry()
+	defer srv.Close()
+	Latency(s, 64, 8)
+	s.Stop()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "# TYPE") {
+		t.Fatalf("/metrics: %d\n%s", resp.StatusCode, body)
+	}
+}

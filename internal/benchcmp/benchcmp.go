@@ -1,0 +1,209 @@
+// Package benchcmp compares two BENCH_parallel.json scaling reports and
+// flags perf regressions: per-configuration speedup deltas against a
+// tolerance threshold. Speedup (not wall-clock) is the compared metric —
+// it is the machine-portable one, so a committed report from one host can
+// gate a CI run on another; configurations present in only one report are
+// reported but never fail the comparison, and differing workload sizes
+// (full vs -short runs) are noted per row.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"sanft/internal/report"
+)
+
+// DefaultTolerance is the relative speedup drop treated as a regression
+// when the caller does not set one: new/old below 1-tolerance fails.
+// Speedups on small shared hosts jitter by a few percent per run even
+// with best-of-N timing; 10% keeps the gate meaningful without tripping
+// on scheduler noise.
+const DefaultTolerance = 0.10
+
+// Report is the decoded subset of the BENCH_parallel.json schema the
+// comparison needs. Unknown fields are ignored, so the schema can grow
+// without breaking old comparisons.
+type Report struct {
+	Name        string        `json:"name"`
+	Date        string        `json:"date"`
+	CPUModel    string        `json:"cpu_model"`
+	Short       bool          `json:"short,omitempty"`
+	Interrupted bool          `json:"interrupted,omitempty"`
+	Engine      []EngineRow   `json:"engine_scaling"`
+	Campaign    []CampaignRow `json:"campaign_scaling"`
+	Proptest    []ProptestRow `json:"proptest_scaling"`
+}
+
+// EngineRow, CampaignRow and ProptestRow mirror the sanbench row schemas.
+type EngineRow struct {
+	Plan    string  `json:"plan"`
+	Workers int     `json:"workers"`
+	WallMS  float64 `json:"wall_ms"`
+	Events  uint64  `json:"events"`
+	Speedup float64 `json:"speedup"`
+}
+
+type CampaignRow struct {
+	Workers  int     `json:"workers"`
+	Replicas int     `json:"replicas"`
+	WallMS   float64 `json:"wall_ms"`
+	Speedup  float64 `json:"speedup"`
+}
+
+type ProptestRow struct {
+	Workers int     `json:"workers"`
+	Cases   int     `json:"cases"`
+	WallMS  float64 `json:"wall_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Load reads and decodes one report file.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Status classifies one configuration's comparison outcome.
+type Status string
+
+const (
+	StatusOK        Status = "ok"
+	StatusRegressed Status = "regressed"
+	StatusImproved  Status = "improved"
+	StatusAdded     Status = "added"   // only in the new report
+	StatusRemoved   Status = "removed" // only in the old report
+)
+
+// Delta is one configuration's speedup comparison.
+type Delta struct {
+	Key        string  `json:"key"`
+	OldSpeedup float64 `json:"old_speedup"`
+	NewSpeedup float64 `json:"new_speedup"`
+	Ratio      float64 `json:"ratio"` // new/old; 0 for added/removed
+	Status     Status  `json:"status"`
+	Note       string  `json:"note,omitempty"`
+}
+
+// entry is one comparable configuration: a stable key, its speedup, and a
+// workload fingerprint (noted when it differs — full vs -short runs time
+// different work, so their speedups are only loosely comparable).
+type entry struct {
+	key     string
+	speedup float64
+	work    string
+}
+
+func flatten(r *Report) []entry {
+	var es []entry
+	for _, row := range r.Engine {
+		es = append(es, entry{
+			key:     fmt.Sprintf("engine|%s|workers=%d", row.Plan, row.Workers),
+			speedup: row.Speedup,
+			work:    fmt.Sprintf("events=%d", row.Events),
+		})
+	}
+	for _, row := range r.Campaign {
+		es = append(es, entry{
+			key:     fmt.Sprintf("campaign|workers=%d", row.Workers),
+			speedup: row.Speedup,
+			work:    fmt.Sprintf("replicas=%d", row.Replicas),
+		})
+	}
+	for _, row := range r.Proptest {
+		es = append(es, entry{
+			key:     fmt.Sprintf("proptest|workers=%d", row.Workers),
+			speedup: row.Speedup,
+			work:    fmt.Sprintf("cases=%d", row.Cases),
+		})
+	}
+	return es
+}
+
+// Compare evaluates cur against old with the given relative tolerance
+// (≤ 0 takes DefaultTolerance). Order is deterministic: the new report's
+// row order, with removed configurations appended in the old report's
+// order. Only configurations present in both reports can regress.
+func Compare(old, cur *Report, tol float64) []Delta {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	oldes := flatten(old)
+	byKey := make(map[string]entry, len(oldes))
+	for _, e := range oldes {
+		byKey[e.key] = e
+	}
+	matched := make(map[string]bool)
+	var ds []Delta
+	for _, ne := range flatten(cur) {
+		oe, ok := byKey[ne.key]
+		if !ok {
+			ds = append(ds, Delta{Key: ne.key, NewSpeedup: ne.speedup, Status: StatusAdded})
+			continue
+		}
+		matched[ne.key] = true
+		d := Delta{Key: ne.key, OldSpeedup: oe.speedup, NewSpeedup: ne.speedup}
+		if oe.speedup > 0 {
+			d.Ratio = ne.speedup / oe.speedup
+		}
+		switch {
+		case d.Ratio < 1-tol:
+			d.Status = StatusRegressed
+		case d.Ratio > 1+tol:
+			d.Status = StatusImproved
+		default:
+			d.Status = StatusOK
+		}
+		if oe.work != ne.work {
+			d.Note = fmt.Sprintf("workload differs (%s vs %s)", oe.work, ne.work)
+		}
+		ds = append(ds, d)
+	}
+	for _, oe := range oldes {
+		if !matched[oe.key] {
+			ds = append(ds, Delta{Key: oe.key, OldSpeedup: oe.speedup, Status: StatusRemoved})
+		}
+	}
+	return ds
+}
+
+// AnyRegression reports whether any configuration regressed.
+func AnyRegression(ds []Delta) bool {
+	for _, d := range ds {
+		if d.Status == StatusRegressed {
+			return true
+		}
+	}
+	return false
+}
+
+// Table renders the deltas through the shared report contract.
+func Table(ds []Delta, tol float64) *report.Table {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	t := &report.Table{
+		Name:   fmt.Sprintf("speedup comparison (tolerance %.0f%%)", tol*100),
+		Header: []string{"config", "old", "new", "ratio", "status", "note"},
+	}
+	f := func(v float64) string {
+		if v == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", v)
+	}
+	for _, d := range ds {
+		t.Cells = append(t.Cells, []string{
+			d.Key, f(d.OldSpeedup), f(d.NewSpeedup), f(d.Ratio), string(d.Status), d.Note,
+		})
+	}
+	return t
+}

@@ -1,0 +1,164 @@
+package benchcmp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baseReport() *Report {
+	return &Report{
+		Name: "parallel-scaling", Date: "2026-01-01T00:00:00Z",
+		Engine: []EngineRow{
+			{Plan: "1 host/shard", Workers: 1, WallMS: 100, Events: 5000, Speedup: 1.0},
+			{Plan: "1 host/shard", Workers: 4, WallMS: 30, Events: 5000, Speedup: 3.3},
+		},
+		Campaign: []CampaignRow{
+			{Workers: 1, Replicas: 8, WallMS: 400, Speedup: 1.0},
+			{Workers: 4, Replicas: 8, WallMS: 110, Speedup: 3.6},
+		},
+		Proptest: []ProptestRow{
+			{Workers: 1, Cases: 1000, WallMS: 900, Speedup: 1.0},
+		},
+	}
+}
+
+func find(t *testing.T, ds []Delta, key string) Delta {
+	t.Helper()
+	for _, d := range ds {
+		if d.Key == key {
+			return d
+		}
+	}
+	t.Fatalf("no delta with key %q in %+v", key, ds)
+	return Delta{}
+}
+
+// TestCompareDetectsRegression: an injected >tolerance speedup drop is
+// flagged, and AnyRegression makes the gate trip.
+func TestCompareDetectsRegression(t *testing.T) {
+	old, cur := baseReport(), baseReport()
+	cur.Engine[1].Speedup = 2.0 // 3.3 -> 2.0 is a 39% drop
+	ds := Compare(old, cur, DefaultTolerance)
+	d := find(t, ds, "engine|1 host/shard|workers=4")
+	if d.Status != StatusRegressed {
+		t.Fatalf("status = %s, want regressed (delta %+v)", d.Status, d)
+	}
+	if !AnyRegression(ds) {
+		t.Fatal("AnyRegression = false with a regressed config")
+	}
+	// Everything else stayed put.
+	if d := find(t, ds, "campaign|workers=4"); d.Status != StatusOK {
+		t.Fatalf("untouched config regressed: %+v", d)
+	}
+}
+
+// TestCompareToleranceBoundary: drops inside the tolerance band are ok,
+// gains beyond it are improvements — neither trips the gate.
+func TestCompareToleranceBoundary(t *testing.T) {
+	old, cur := baseReport(), baseReport()
+	cur.Engine[1].Speedup = 3.3 * 0.95 // 5% drop, inside 10%
+	cur.Campaign[1].Speedup = 3.6 * 1.5
+	ds := Compare(old, cur, 0.10)
+	if d := find(t, ds, "engine|1 host/shard|workers=4"); d.Status != StatusOK {
+		t.Fatalf("5%% drop at 10%% tolerance: %s", d.Status)
+	}
+	if d := find(t, ds, "campaign|workers=4"); d.Status != StatusImproved {
+		t.Fatalf("50%% gain: %s, want improved", d.Status)
+	}
+	if AnyRegression(ds) {
+		t.Fatal("gate tripped with no regression")
+	}
+}
+
+// TestCompareAddedRemoved: configurations present in only one report are
+// reported but never fail the comparison.
+func TestCompareAddedRemoved(t *testing.T) {
+	old, cur := baseReport(), baseReport()
+	cur.Proptest = append(cur.Proptest, ProptestRow{Workers: 4, Cases: 1000, Speedup: 3.1})
+	cur.Campaign = cur.Campaign[:1] // drop workers=4
+	ds := Compare(old, cur, 0)
+	if d := find(t, ds, "proptest|workers=4"); d.Status != StatusAdded {
+		t.Fatalf("added config: %s", d.Status)
+	}
+	if d := find(t, ds, "campaign|workers=4"); d.Status != StatusRemoved {
+		t.Fatalf("removed config: %s", d.Status)
+	}
+	if AnyRegression(ds) {
+		t.Fatal("added/removed configurations must never fail the gate")
+	}
+}
+
+// TestCompareWorkloadNote: differing workload sizes (full vs -short) are
+// noted per row so a cross-size comparison is visibly loose.
+func TestCompareWorkloadNote(t *testing.T) {
+	old, cur := baseReport(), baseReport()
+	cur.Proptest[0].Cases = 200
+	ds := Compare(old, cur, 0)
+	d := find(t, ds, "proptest|workers=1")
+	if !strings.Contains(d.Note, "workload differs") {
+		t.Fatalf("no workload note: %+v", d)
+	}
+}
+
+// TestCompareDeterministicOrder: new-report row order, removed appended.
+func TestCompareDeterministicOrder(t *testing.T) {
+	old, cur := baseReport(), baseReport()
+	cur.Engine = cur.Engine[:1]
+	ds := Compare(old, cur, 0)
+	if ds[len(ds)-1].Status != StatusRemoved {
+		t.Fatalf("removed config not appended last: %+v", ds)
+	}
+	ds2 := Compare(old, cur, 0)
+	for i := range ds {
+		if ds[i] != ds2[i] {
+			t.Fatal("Compare order not deterministic")
+		}
+	}
+}
+
+// TestLoadRoundTrip: Load decodes the sanbench schema subset, ignoring
+// fields it does not model (profile summaries, note, machine info).
+func TestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	blob := `{
+  "name": "parallel-scaling",
+  "date": "2026-08-08T00:00:00Z",
+  "cpu_model": "test",
+  "short": true,
+  "interrupted": true,
+  "note": "ignored",
+  "engine_scaling": [
+    {"plan": "1 host/shard", "workers": 2, "wall_ms": 5.5, "events": 123,
+     "speedup": 1.7, "profile": {"epochs": 9, "busy_frac": 0.5}}
+  ],
+  "campaign_scaling": [],
+  "proptest_scaling": null
+}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !r.Short || !r.Interrupted || len(r.Engine) != 1 || r.Engine[0].Speedup != 1.7 {
+		t.Fatalf("decoded report wrong: %+v", r)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("Load of missing file succeeded")
+	}
+}
+
+// TestTable renders one row per delta with the tolerance in the title.
+func TestTable(t *testing.T) {
+	old, cur := baseReport(), baseReport()
+	cur.Engine[1].Speedup = 1.0
+	ds := Compare(old, cur, 0.10)
+	s := Table(ds, 0.10).String()
+	if !strings.Contains(s, "tolerance 10%") || !strings.Contains(s, "regressed") {
+		t.Fatalf("table render:\n%s", s)
+	}
+}

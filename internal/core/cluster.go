@@ -8,6 +8,7 @@ package core
 import (
 	"time"
 
+	"sanft/internal/enginestat"
 	"sanft/internal/fabric"
 	"sanft/internal/fault"
 	"sanft/internal/liveness"
@@ -129,6 +130,22 @@ type Config struct {
 	// Seed drives all deterministic randomness.
 	Seed int64
 
+	// Profile enables the engine wall-clock profiler: per-worker epoch
+	// accounting in the parallel engine, kernel event counters, and
+	// frame/packet pool traffic, collected worker-locally and read back
+	// through EngineProfile after the run. Off by default; profiling
+	// never changes simulation results (it reads clocks, feeds nothing
+	// back), so profiled dumps stay byte-identical to unprofiled ones.
+	Profile bool
+
+	// Telemetry, when non-empty, starts a live telemetry HTTP server on
+	// this address (host:port; port 0 picks one — see Telemetry().Addr()):
+	// Prometheus /metrics, /debug/pprof, expvar, engine /profile.
+	// Metrics snapshots publish on every observer sample and at
+	// RunFor/Stop boundaries. The server outlives Stop so a final scrape
+	// can read the end state; the owner closes it via Telemetry().Close().
+	Telemetry string
+
 	// Engine selects the execution engine; a non-zero Plan implies
 	// EngineSharded.
 	Engine EngineKind
@@ -186,6 +203,12 @@ type Cluster struct {
 	cells  []*cell
 	byHost map[topology.NodeID]int
 	eng    *parsim.Engine
+
+	// Engine-profiling state (nil/zero when Config.Profile is off).
+	prof      *enginestat.EngineProf // sharded engine's recording area
+	profiled  bool
+	poolBase  enginestat.PoolStat // pool counters at construction time
+	telemetry *enginestat.Server
 
 	// Remaps counts completed on-demand remap operations.
 	Remaps int
@@ -306,6 +329,12 @@ func newSequential(cfg Config) *Cluster {
 	if cfg.Metrics.SampleEvery > 0 {
 		obs.StartSampling(k, cfg.Metrics.SampleEvery)
 	}
+	if cfg.Profile {
+		c.enableProfiling()
+	}
+	if cfg.Telemetry != "" {
+		c.startTelemetry(cfg.Telemetry)
+	}
 	return c
 }
 
@@ -425,9 +454,10 @@ func (c *Cluster) NICAt(i int) *nic.NIC { return c.NIC(c.Hosts[i]) }
 func (c *Cluster) RunFor(d time.Duration) {
 	if c.eng != nil {
 		c.eng.RunFor(d)
-		return
+	} else {
+		c.K.RunFor(d)
 	}
-	c.K.RunFor(d)
+	c.publishTelemetry()
 }
 
 // Stop terminates the simulation and all its processes. On the sharded
@@ -439,9 +469,12 @@ func (c *Cluster) Stop() {
 			cl.k.Stop()
 		}
 		c.eng.Shutdown()
-		return
+	} else {
+		c.K.Stop()
 	}
-	c.K.Stop()
+	// Final publish so a live scrape can read the end state; the server
+	// itself stays up until its owner closes it.
+	c.publishTelemetry()
 }
 
 // StopSoon schedules a stop at the current instant; safe to call from

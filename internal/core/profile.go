@@ -1,0 +1,138 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"sanft/internal/enginestat"
+	"sanft/internal/fabric"
+	"sanft/internal/metrics"
+	"sanft/internal/proto"
+	"sanft/internal/sim"
+)
+
+// Engine self-observability wiring: Config.Profile turns on the
+// wall-clock profiler (parsim worker accounting + kernel counters + pool
+// traffic), Config.Telemetry starts the live HTTP endpoint. Both are
+// pure observers — neither feeds anything back into simulation state, so
+// enabling them never changes results.
+
+// enableProfiling arms every collection point. Pool counters are
+// process-wide (the sync.Pools are shared), so the cluster remembers a
+// construction-time baseline and EngineProfile reports deltas; profiled
+// clusters running concurrently in one process see combined pool traffic.
+func (c *Cluster) enableProfiling() {
+	c.profiled = true
+	proto.SetPoolProfiling(true)
+	fabric.SetPoolProfiling(true)
+	c.poolBase = readPools()
+	if c.eng != nil {
+		c.prof = c.eng.EnableProfiling()
+	}
+}
+
+func readPools() enginestat.PoolStat {
+	fg, fm := proto.PoolStats()
+	pg, pm := fabric.PoolStats()
+	return enginestat.PoolStat{FrameGets: fg, FrameMisses: fm, PacketGets: pg, PacketMisses: pm}
+}
+
+// ProfileSpans additionally records bounded per-worker wall-clock spans
+// (shard windows, solo batches, barrier stalls, exchanges) for the
+// Perfetto export, capped at capPerWorker spans per worker. Call before
+// the run being recorded; sharded engine with profiling on, no-op
+// otherwise.
+func (c *Cluster) ProfileSpans(capPerWorker int) {
+	if c.prof != nil {
+		c.prof.EnableSpans(capPerWorker)
+	}
+}
+
+// EngineProfile returns the profiler's collected state, or nil when the
+// cluster was built without profiling. Sharded engine: engine totals,
+// per-worker wall-clock accounts, per-shard kernel counters, and pool
+// traffic since construction. Sequential engine: kernel counters only
+// (there is no epoch loop to account). Call while the cluster is
+// quiescent — between RunFor calls or after Stop.
+func (c *Cluster) EngineProfile() *enginestat.Profile {
+	if !c.profiled {
+		return nil
+	}
+	var p *enginestat.Profile
+	if c.prof != nil {
+		p = c.prof.Snapshot()
+	} else {
+		p = &enginestat.Profile{}
+		p.Engine.Workers = 1
+		p.Engine.Shards = 1
+	}
+	if c.eng != nil {
+		for i, cl := range c.cells {
+			p.Kernels = append(p.Kernels, kernelStat(i, cl.k))
+		}
+	} else {
+		p.Kernels = append(p.Kernels, kernelStat(0, c.K))
+	}
+	cur := readPools()
+	p.Pools = enginestat.PoolStat{
+		FrameGets:    cur.FrameGets - c.poolBase.FrameGets,
+		FrameMisses:  cur.FrameMisses - c.poolBase.FrameMisses,
+		PacketGets:   cur.PacketGets - c.poolBase.PacketGets,
+		PacketMisses: cur.PacketMisses - c.poolBase.PacketMisses,
+	}
+	return p
+}
+
+func kernelStat(shard int, k *sim.Kernel) enginestat.KernelStat {
+	ks := k.Stats()
+	return enginestat.KernelStat{
+		Shard:          shard,
+		Scheduled:      ks.Scheduled,
+		Cancelled:      ks.Cancelled,
+		Executed:       ks.Executed,
+		Pending:        ks.Pending,
+		ArenaHighWater: ks.ArenaHighWater,
+	}
+}
+
+// Telemetry returns the cluster's live telemetry server, nil when off.
+func (c *Cluster) Telemetry() *enginestat.Server { return c.telemetry }
+
+// startTelemetry launches the HTTP endpoint and wires the publish points:
+// immediately (so the endpoint is never empty), on every observer sample
+// (sequential engine — the sampler runs on the simulation thread), and at
+// RunFor/Stop boundaries on both engines.
+func (c *Cluster) startTelemetry(addr string) {
+	srv, err := enginestat.NewServer(addr)
+	if err != nil {
+		panic(fmt.Sprintf("core: telemetry listen on %s: %v", addr, err))
+	}
+	c.telemetry = srv
+	if c.eng == nil {
+		c.obs.OnSample(func(sim.Time) { c.publishTelemetry() })
+	}
+	c.publishTelemetry()
+}
+
+// publishTelemetry renders the current metrics and engine profile and
+// swaps them into the server. Must run on the simulation thread while
+// the engine is quiescent — the HTTP handlers only ever see the published
+// copies, never the live registry.
+func (c *Cluster) publishTelemetry() {
+	if c.telemetry == nil {
+		return
+	}
+	var obs *metrics.Observer
+	if c.eng != nil {
+		obs = c.MergedObserver()
+	} else {
+		obs = c.obs
+	}
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf); err == nil {
+		c.telemetry.PublishMetrics(buf.Bytes())
+	}
+	if p := c.EngineProfile(); p != nil {
+		c.telemetry.PublishProfile(p)
+	}
+}

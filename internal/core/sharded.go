@@ -242,6 +242,12 @@ func newSharded(cfg Config) *Cluster {
 			port.Send(at, j, func() { dstCell.pipe.Arrive(dst, cp) })
 		})
 	}
+	if cfg.Profile {
+		s.enableProfiling()
+	}
+	if cfg.Telemetry != "" {
+		s.startTelemetry(cfg.Telemetry)
+	}
 	return s
 }
 

@@ -1,6 +1,28 @@
 package fabric
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// poolProf gathers packet-pool traffic for the engine profiler, mirroring
+// internal/proto's frame-pool counters: off by default, one atomic load
+// per pooled clone when on, process-wide totals (consumers report deltas
+// from a construction-time baseline).
+var poolProf struct {
+	enabled atomic.Bool
+	gets    atomic.Uint64 // pooled clones served
+	news    atomic.Uint64 // pool refills (fresh allocations)
+}
+
+// SetPoolProfiling toggles packet-pool traffic counting.
+func SetPoolProfiling(on bool) { poolProf.enabled.Store(on) }
+
+// PoolStats returns the cumulative pooled-clone count and the number of
+// those served by a fresh allocation (pool miss).
+func PoolStats() (gets, misses uint64) {
+	return poolProf.gets.Load(), poolProf.news.Load()
+}
 
 // packetBlock is one unit of pooled packet storage: the packet plus a
 // reusable route buffer, so cloning a packet across a shard boundary
@@ -14,7 +36,12 @@ type packetBlock struct {
 	routeBuf []int
 }
 
-var packetPool = sync.Pool{New: func() any { return new(packetBlock) }}
+var packetPool = sync.Pool{New: func() any {
+	if poolProf.enabled.Load() {
+		poolProf.news.Add(1)
+	}
+	return new(packetBlock)
+}}
 
 // ClonePooled returns a copy of the packet shell from pooled storage:
 // route bytes are copied into the block's reusable buffer and callbacks
@@ -24,6 +51,9 @@ var packetPool = sync.Pool{New: func() any { return new(packetBlock) }}
 // caller deep-copies it when the boundary demands. The caller owns the
 // copy until it calls Release.
 func (p *Packet) ClonePooled() *Packet {
+	if poolProf.enabled.Load() {
+		poolProf.gets.Add(1)
+	}
 	b := packetPool.Get().(*packetBlock)
 	cp := &b.pkt
 	*cp = *p

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
@@ -217,5 +218,99 @@ func TestSnapshotSparseBuckets(t *testing.T) {
 	}
 	if s.Count != 3 || s.MaxNS != 1<<30 {
 		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+// TestPrometheusFamilies pins the exposition-format contract: exactly one
+// # HELP/# TYPE pair per metric family, with every series of the family
+// directly under its header — including the ASCII trap where '_' sorts
+// before '{', so a family's labelled series ("nic_pkts{...}") interleave
+// with a longer base ("nic_pkts_extra") in plain sorted order.
+func TestPrometheusFamilies(t *testing.T) {
+	o := NewObserver(Config{})
+	r := o.Registry()
+	r.Counter("nic.pkts", L("host", "0")).Add(1)
+	r.Counter("nic.pkts", L("host", "1")).Add(2)
+	r.Counter("nic.pkts_extra", nil).Add(3)
+	var buf bytes.Buffer
+	if err := o.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, base := range []string{"nic_pkts", "nic_pkts_extra"} {
+		for _, h := range []string{"# HELP " + base + " ", "# TYPE " + base + " counter\n"} {
+			if strings.Count(out, h) != 1 {
+				t.Errorf("want exactly one %q:\n%s", h, out)
+			}
+		}
+	}
+	// Series must sit in their family's block: after "# TYPE nic_pkts
+	// counter" and before the next comment line come exactly the two
+	// labelled nic_pkts series.
+	lines := strings.Split(out, "\n")
+	for i, l := range lines {
+		if l != "# TYPE nic_pkts counter" {
+			continue
+		}
+		var series []string
+		for _, s := range lines[i+1:] {
+			if strings.HasPrefix(s, "#") || s == "" {
+				break
+			}
+			series = append(series, s)
+		}
+		want := []string{`nic_pkts{host="0"} 1`, `nic_pkts{host="1"} 2`}
+		if len(series) != 2 || series[0] != want[0] || series[1] != want[1] {
+			t.Errorf("nic_pkts family block = %v, want %v", series, want)
+		}
+	}
+}
+
+// TestPrometheusHistogramBuckets pins the histogram rendering: cumulative
+// _bucket series over the HDR buckets with le= upper bounds in
+// nanoseconds, a +Inf bucket equal to _count, and an exact _sum — and no
+// leftovers of the old derived-gauge rendering (_p50_ns and friends).
+func TestPrometheusHistogramBuckets(t *testing.T) {
+	o := NewObserver(Config{})
+	h := o.Registry().Histogram("lat_ns", L("host", "0"))
+	h.Observe(3) // twice in bucket le=3
+	h.Observe(3)
+	h.Observe(1 << 30)
+	var buf bytes.Buffer
+	if err := o.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	hi := bucketUpper(bucketIndex(1 << 30))
+	sum := int64(3 + 3 + 1<<30)
+	for _, want := range []string{
+		"# TYPE lat_ns histogram\n",
+		"lat_ns_bucket{host=\"0\",le=\"3\"} 2\n",
+		fmt.Sprintf("lat_ns_bucket{host=\"0\",le=\"%d\"} 3\n", hi),
+		"lat_ns_bucket{host=\"0\",le=\"+Inf\"} 3\n",
+		fmt.Sprintf("lat_ns_sum{host=\"0\"} %d\n", sum),
+		"lat_ns_count{host=\"0\"} 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus histogram missing %q:\n%s", want, out)
+		}
+	}
+	for _, gone := range []string{"_p50_ns", "_p99_ns", "_sum_ns"} {
+		if strings.Contains(out, gone) {
+			t.Errorf("old derived-gauge rendering %q still present:\n%s", gone, out)
+		}
+	}
+}
+
+// TestObserverOnSample: the sample hook fires after each sample with the
+// sampled timestamp — the publish point live telemetry hangs off.
+func TestObserverOnSample(t *testing.T) {
+	o := NewObserver(Config{})
+	var got []sim.Time
+	o.OnSample(func(now sim.Time) { got = append(got, now) })
+	o.SampleNow(100)
+	o.SampleNow(200)
+	if len(got) != 2 || got[0] != 100 || got[1] != 200 {
+		t.Fatalf("OnSample calls = %v, want [100 200]", got)
 	}
 }

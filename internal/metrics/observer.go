@@ -45,6 +45,12 @@ type Observer struct {
 	timer     sim.Timer
 	lastEpoch uint64
 	sampled   bool // at least one sample taken (epoch baseline valid)
+
+	// onSample, when set, fires after every sample (periodic or explicit)
+	// on the simulation thread — the safe point where live telemetry
+	// renders and publishes a registry snapshot. Purely an observer: it
+	// must not mutate simulation state.
+	onSample func(now sim.Time)
 }
 
 // NewObserver returns an observer with a fresh registry.
@@ -92,7 +98,15 @@ func (o *Observer) SampleNow(now sim.Time) {
 	o.samples = append(o.samples, o.snapshot(now))
 	o.lastEpoch = o.reg.epoch
 	o.sampled = true
+	if o.onSample != nil {
+		o.onSample(now)
+	}
 }
+
+// OnSample installs fn to run after every sample taken on this observer.
+// The hook runs on the simulation thread and must treat the registry as
+// read-only.
+func (o *Observer) OnSample(fn func(now sim.Time)) { o.onSample = fn }
 
 // sampleIfActive appends a sample only if any observation was recorded
 // since the previous sample. Campaigns run tens of virtual seconds with
@@ -183,14 +197,61 @@ func sortedKeys[V any](m map[string]V) []string {
 	return ks
 }
 
+// splitProm splits an already-mangled Prometheus series name into its
+// base name and label block ("" when unlabelled).
+func splitProm(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// promFamily is one metric family: every ident sharing a mangled base
+// name, which Prometheus requires to be announced once under a single
+// # HELP/# TYPE header pair.
+type promFamily struct {
+	base string
+	ids  []string // original registry idents, sorted by mangled series name
+}
+
+// promFamilies groups idents into families sorted by base name. Grouping
+// goes through a map keyed on the base — NOT consecutive runs of the
+// sorted ident list: '_' sorts before '{' in ASCII, so the series of one
+// base can interleave with a longer base's series in sorted order.
+func promFamilies(ids []string) []promFamily {
+	m := map[string][]string{}
+	for _, id := range ids {
+		base, _ := splitProm(promName(id))
+		m[base] = append(m[base], id)
+	}
+	fams := make([]promFamily, 0, len(m))
+	for base, ids := range m {
+		sort.Slice(ids, func(i, j int) bool { return promName(ids[i]) < promName(ids[j]) })
+		fams = append(fams, promFamily{base: base, ids: ids})
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].base < fams[j].base })
+	return fams
+}
+
 // WritePrometheus writes the current registry state (not the time series)
-// in Prometheus text exposition style. Deterministic: sorted by ident.
+// in the Prometheus text exposition format (version 0.0.4): families
+// announced with # HELP/# TYPE headers, histograms rendered as cumulative
+// _bucket/_sum/_count series over the HDR buckets, with le= upper bounds
+// in nanoseconds (matching the _ns-suffixed metric names). Deterministic:
+// families sort by name, series within a family by full series name.
 func (o *Observer) WritePrometheus(w io.Writer) error {
-	for _, id := range sortedKeys(o.reg.counters) {
-		if _, err := fmt.Fprintf(w, "%s %d\n", promName(id), o.reg.counters[id].v); err != nil {
-			return err
+	var b strings.Builder
+	header := func(base, kind string) {
+		fmt.Fprintf(&b, "# HELP %s sanft simulator metric %s\n# TYPE %s %s\n", base, base, base, kind)
+	}
+
+	for _, f := range promFamilies(sortedKeys(o.reg.counters)) {
+		header(f.base, "counter")
+		for _, id := range f.ids {
+			fmt.Fprintf(&b, "%s %d\n", promName(id), o.reg.counters[id].v)
 		}
 	}
+
 	gauges := make(map[string]float64, len(o.reg.gauges)+len(o.reg.gaugeFns))
 	for id, g := range o.reg.gauges {
 		gauges[id] = g.v
@@ -198,26 +259,40 @@ func (o *Observer) WritePrometheus(w io.Writer) error {
 	for id, fn := range o.reg.gaugeFns {
 		gauges[id] = fn()
 	}
-	for _, id := range sortedKeys(gauges) {
-		if _, err := fmt.Fprintf(w, "%s %g\n", promName(id), gauges[id]); err != nil {
-			return err
+	for _, f := range promFamilies(sortedKeys(gauges)) {
+		header(f.base, "gauge")
+		for _, id := range f.ids {
+			fmt.Fprintf(&b, "%s %g\n", promName(id), gauges[id])
 		}
 	}
-	for _, id := range sortedKeys(o.reg.hists) {
-		h := o.reg.hists[id]
-		base, labels := promName(id), ""
-		if i := strings.IndexByte(base, '{'); i >= 0 {
-			base, labels = base[:i], base[i:]
-		}
-		if _, err := fmt.Fprintf(w, "%s_count%s %d\n%s_sum_ns%s %d\n%s_p50_ns%s %d\n%s_p99_ns%s %d\n",
-			base, labels, h.count,
-			base, labels, h.sum,
-			base, labels, int64(h.Quantile(0.50)),
-			base, labels, int64(h.Quantile(0.99))); err != nil {
-			return err
+
+	for _, f := range promFamilies(sortedKeys(o.reg.hists)) {
+		header(f.base, "histogram")
+		for _, id := range f.ids {
+			h := o.reg.hists[id]
+			_, labels := splitProm(promName(id))
+			inner := strings.Trim(labels, "{}")
+			le := func(v string) string {
+				if inner == "" {
+					return `{le="` + v + `"}`
+				}
+				return "{" + inner + `,le="` + v + `"}`
+			}
+			var cum uint64
+			for idx, c := range h.buckets {
+				if c == 0 {
+					continue
+				}
+				cum += c
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.base, le(fmt.Sprint(bucketUpper(idx))), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", f.base, le("+Inf"), h.count)
+			fmt.Fprintf(&b, "%s_sum%s %d\n", f.base, labels, h.sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", f.base, labels, h.count)
 		}
 	}
-	return nil
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // Summary renders the current registry state as a human-readable table:

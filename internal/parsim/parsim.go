@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sanft/internal/enginestat"
 	"sanft/internal/sim"
 )
 
@@ -143,6 +144,14 @@ type Engine struct {
 
 	touched []bool // per-dst inbox dirty flags, reused across collects
 	sorter  xevSorter
+
+	// Wall-clock profiling (nil = off). The unprofiled engine pays only
+	// nil checks on per-epoch paths, never per event; the profiler reads
+	// clocks but feeds nothing back, so a profiled run is byte-identical
+	// to an unprofiled one. profPrev is the coordinator's last clock
+	// mark; helpers take their own local marks.
+	prof     *enginestat.EngineProf
+	profPrev int64
 }
 
 // NewEngine builds an engine over shards with the given lookahead and
@@ -171,6 +180,28 @@ func NewEngine(shards []Shard, lookahead time.Duration, workers int) *Engine {
 
 // Port returns shard i's cross-shard send handle.
 func (e *Engine) Port(i int) *Port { return &Port{e: e, src: i} }
+
+// EnableProfiling turns on wall-clock profiling and returns the live
+// recording area (idempotent: repeated calls return the same one). Must
+// be called while the engine is quiescent — before the first Run or
+// between Runs; the helper wake channel publishes it to the pool.
+func (e *Engine) EnableProfiling() *enginestat.EngineProf {
+	if e.prof == nil {
+		e.prof = enginestat.NewEngineProf(e.workers)
+		e.prof.Engine.Workers = e.workers
+		e.prof.Engine.Shards = len(e.shards)
+		e.prof.Engine.LookaheadNS = int64(e.lookahead)
+	}
+	return e.prof
+}
+
+// profMark accrues the coordinator's wall-clock since its previous mark
+// into *dst and re-marks. Coordinator-only; callers hold e.prof != nil.
+func (e *Engine) profMark(dst *int64) {
+	now := enginestat.NowNS()
+	*dst += now - e.profPrev
+	e.profPrev = now
+}
 
 // Workers returns the worker count the engine executes epochs with.
 func (e *Engine) Workers() int { return e.workers }
@@ -284,14 +315,41 @@ const spinYield = 64
 func (e *Engine) workerLoop(id int) {
 	var lastGen uint64
 	for range e.start[id] {
+		// The wake token publishes e.prof (written while the helper was
+		// parked): the channel send/receive is the happens-before edge. In
+		// the other direction every stat write below is sequenced before a
+		// doneN.Add, and the coordinator reads stats only after observing
+		// the matching doneN — so the records are race-free by protocol.
+		var ws *enginestat.WorkerStat
+		var lg *enginestat.SpanLog
+		var prev, awake0 int64
+		if e.prof != nil {
+			ws = e.prof.Worker(id + 1)
+			lg = e.prof.Spans(id + 1)
+			ws.Wakes++
+			prev = enginestat.NowNS()
+			awake0 = prev
+		}
 		for spins := 0; ; {
 			if e.stopSpin.Load() {
+				if ws != nil {
+					now := enginestat.NowNS()
+					ws.StallNS += now - prev
+					ws.AwakeNS += now - awake0
+					ws.Parks++
+				}
 				e.doneN.Add(1)
 				break
 			}
 			if g := e.gen.Load(); g != lastGen {
 				lastGen = g
-				e.claimShards()
+				if ws != nil {
+					ws.StallNS += enginestat.NowNS() - prev
+				}
+				e.claimShards(ws, lg)
+				if ws != nil {
+					prev = enginestat.NowNS()
+				}
 				e.doneN.Add(1)
 				spins = 0
 				continue
@@ -338,7 +396,13 @@ func (e *Engine) parkWorkers() {
 // shard code is captured (first wins) and re-raised by the coordinator
 // after the barrier; the panicking worker stops claiming, the rest of
 // the epoch's shards drain onto its peers.
-func (e *Engine) claimShards() {
+//
+// ws is the claiming worker's profiling record (nil keeps the original
+// tight loop). The profiled variant takes its own local clock marks —
+// claimShards runs concurrently on every worker, so it cannot share the
+// coordinator's mark — splitting each iteration into steal overhead
+// (cursor claim + bookkeeping) and busy kernel time.
+func (e *Engine) claimShards(ws *enginestat.WorkerStat, lg *enginestat.SpanLog) {
 	defer func() {
 		if r := recover(); r != nil {
 			e.panicMu.Lock()
@@ -349,12 +413,35 @@ func (e *Engine) claimShards() {
 		}
 	}()
 	end := e.epochEnd
+	if ws == nil {
+		for {
+			i := int(atomic.AddInt64(&e.cursor, 1))
+			if i >= len(e.active) {
+				return
+			}
+			e.shards[e.active[i]].Kernel().RunBefore(end)
+		}
+	}
+	prev := enginestat.NowNS()
 	for {
 		i := int(atomic.AddInt64(&e.cursor, 1))
+		ws.StealAttempts++
 		if i >= len(e.active) {
+			ws.StealNS += enginestat.NowNS() - prev
 			return
 		}
-		e.shards[e.active[i]].Kernel().RunBefore(end)
+		ws.StealHits++
+		ws.Claims++
+		k := e.shards[e.active[i]].Kernel()
+		ex0 := k.Executed()
+		t0 := enginestat.NowNS()
+		ws.StealNS += t0 - prev
+		k.RunBefore(end)
+		prev = enginestat.NowNS()
+		ws.BusyNS += prev - t0
+		ws.Events += k.Executed() - ex0
+		lg.Record(enginestat.Span{Worker: ws.Worker, Kind: enginestat.SpanShard,
+			Shard: int(e.active[i]), StartNS: t0, EndNS: prev})
 	}
 }
 
@@ -375,9 +462,34 @@ func (e *Engine) runEpoch(end sim.Time) {
 			s.Kernel().RunBefore(end) // clock alignment only
 		}
 	}
+	var w0 *enginestat.WorkerStat
+	var lg0 *enginestat.SpanLog
+	if e.prof != nil {
+		w0 = e.prof.Worker(0)
+		lg0 = e.prof.Spans(0)
+		if len(e.active) > 1 {
+			// Multi-shard epochs measure available parallelism regardless
+			// of whether a helper pool actually ran them.
+			e.prof.Engine.BarrierEpochs++
+			e.prof.Engine.ActiveShardSum += uint64(len(e.active))
+		}
+		e.profMark(&w0.ExchangeNS) // busy scan + idle clock alignment
+	}
 	if len(e.active) <= 1 || e.workers <= 1 {
 		for _, i := range e.active {
-			e.shards[i].Kernel().RunBefore(end)
+			k := e.shards[i].Kernel()
+			if w0 == nil {
+				k.RunBefore(end)
+				continue
+			}
+			ex0 := k.Executed()
+			t0 := e.profPrev
+			k.RunBefore(end)
+			e.profMark(&w0.BusyNS)
+			w0.Events += k.Executed() - ex0
+			w0.Claims++
+			lg0.Record(enginestat.Span{Worker: 0, Kind: enginestat.SpanShard,
+				Shard: int(i), StartNS: t0, EndNS: e.profPrev})
 		}
 		return
 	}
@@ -386,9 +498,21 @@ func (e *Engine) runEpoch(end sim.Time) {
 	atomic.StoreInt64(&e.cursor, -1)
 	e.doneN.Store(0)
 	e.gen.Add(1) // publish the epoch to the spinning helpers
-	e.claimShards()
+	if w0 == nil {
+		e.claimShards(nil, nil)
+	} else {
+		e.profMark(&w0.StealNS) // wake + epoch publish overhead
+		e.claimShards(w0, lg0)
+		e.profPrev = enginestat.NowNS() // claimShards marked its own interior
+	}
+	barStart := e.profPrev
 	for e.doneN.Load() != int64(len(e.start)) {
 		runtime.Gosched()
+	}
+	if w0 != nil {
+		e.profMark(&w0.StallNS)
+		lg0.Record(enginestat.Span{Worker: 0, Kind: enginestat.SpanBarrier,
+			Shard: -1, StartNS: barStart, EndNS: e.profPrev})
 	}
 	if e.panicVal != nil {
 		p := e.panicVal
@@ -485,14 +609,49 @@ func (e *Engine) soloRun(i int, until sim.Time) {
 // scales with event density, not simulated duration — and stretches with
 // a single busy shard bypass the barrier protocol entirely.
 func (e *Engine) Run(until sim.Time) {
+	// Profiling finalization is declared before the parkWorkers defer so
+	// it runs after the helpers have parked (LIFO): by then every helper
+	// has written its stats and acked through doneN, so the run's totals
+	// are complete. The residual coordinator segment — final alignment
+	// bookkeeping plus the park wait — lands in StallNS.
+	if e.prof != nil {
+		t0 := enginestat.NowNS()
+		e.profPrev = t0
+		epochs0, exch0 := e.epochs, e.exchanged
+		defer func() {
+			w0 := e.prof.Worker(0)
+			e.profMark(&w0.StallNS)
+			e.prof.Engine.RunWallNS += e.profPrev - t0
+			w0.AwakeNS += e.profPrev - t0
+			e.prof.Engine.Epochs += e.epochs - epochs0
+			e.prof.Engine.Exchanged += e.exchanged - exch0
+		}()
+	}
 	// Helpers must be parked whenever control is outside Run — on normal
 	// return and when a panic (lookahead violation, shard code) unwinds —
 	// so Shutdown can retire them and idle engines burn no CPU.
 	defer e.parkWorkers()
 	for e.now < until {
 		if i, ok := e.soloShard(until); ok {
+			if e.prof == nil {
+				e.soloRun(i, until)
+				e.collect()
+				continue
+			}
+			w0 := e.prof.Worker(0)
+			e.profMark(&w0.ExchangeNS) // solo/busy scan overhead
+			k := e.shards[i].Kernel()
+			ex0 := k.Executed()
+			t0 := e.profPrev
 			e.soloRun(i, until)
+			e.profMark(&w0.BusyNS)
+			w0.Events += k.Executed() - ex0
+			w0.Claims++
+			e.prof.Engine.SoloBatches++
+			e.prof.Spans(0).Record(enginestat.Span{Worker: 0, Kind: enginestat.SpanSolo,
+				Shard: i, StartNS: t0, EndNS: e.profPrev})
 			e.collect()
+			e.profMark(&w0.ExchangeNS)
 			continue
 		}
 		start, ok := e.nextWork()
@@ -510,8 +669,20 @@ func (e *Engine) Run(until sim.Time) {
 		for i := range e.shards {
 			e.deliver(i, end)
 		}
+		if e.prof != nil {
+			e.prof.Engine.WindowNS += int64(end.Sub(start))
+		}
 		e.runEpoch(end)
-		e.collect()
+		if e.prof == nil {
+			e.collect()
+		} else {
+			t0 := e.profPrev
+			e.collect()
+			w0 := e.prof.Worker(0)
+			e.profMark(&w0.ExchangeNS)
+			e.prof.Spans(0).Record(enginestat.Span{Worker: 0, Kind: enginestat.SpanExchange,
+				Shard: -1, StartNS: t0, EndNS: e.profPrev})
+		}
 		e.now = end
 		e.epochs++
 	}

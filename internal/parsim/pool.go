@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"sanft/internal/enginestat"
 )
 
 // Pool is the Level-2 executor: independent seeded replicas (chaos
@@ -16,6 +18,61 @@ import (
 type Pool struct {
 	// Workers is the OS-level worker count; ≤ 0 means GOMAXPROCS.
 	Workers int
+	// Progress, when non-nil, is updated as jobs complete so a live
+	// telemetry endpoint can report campaign progress. Purely an
+	// observer: it never affects scheduling or results.
+	Progress *Progress
+}
+
+// Progress tracks a campaign's job completion across Pool runs. All
+// fields are atomics, so Snapshot is safe to call from any goroutine
+// (e.g. an HTTP handler) while the pool is working.
+type Progress struct {
+	total   atomic.Int64
+	done    atomic.Int64
+	jobNS   atomic.Int64 // summed per-job wall-clock
+	startNS atomic.Int64
+}
+
+// Begin (re)arms the tracker for a campaign of n jobs and starts the
+// elapsed clock. Call once before the pool runs; Do adds to the counts,
+// so several sequential Do calls can share one campaign.
+func (p *Progress) Begin(n int) {
+	p.total.Store(int64(n))
+	p.done.Store(0)
+	p.jobNS.Store(0)
+	p.startNS.Store(enginestat.NowNS())
+}
+
+// add records one finished job that took d nanoseconds.
+func (p *Progress) add(d int64) {
+	p.jobNS.Add(d)
+	p.done.Add(1)
+}
+
+// JobDone records one externally timed job — for callers that drive
+// their work outside Pool.Do (bench sweeps) but still want live progress.
+func (p *Progress) JobDone(wallNS int64) { p.add(wallNS) }
+
+// Snapshot returns the current progress view. The ETA extrapolates from
+// mean per-job wall-clock over the remaining jobs, scaled by observed
+// parallel throughput (elapsed vs summed job time).
+func (p *Progress) Snapshot() enginestat.ProgressSnapshot {
+	done := p.done.Load()
+	total := p.total.Load()
+	elapsed := enginestat.NowNS() - p.startNS.Load()
+	s := enginestat.ProgressSnapshot{
+		Done:      done,
+		Total:     total,
+		ElapsedMS: float64(elapsed) / 1e6,
+	}
+	if done > 0 {
+		s.AvgJobMS = float64(p.jobNS.Load()) / float64(done) / 1e6
+		// Remaining wall-clock ≈ remaining jobs × observed elapsed-per-job
+		// (which already folds in the parallelism actually achieved).
+		s.ETAMS = float64(total-done) * float64(elapsed) / float64(done) / 1e6
+	}
+	return s
 }
 
 // Do runs job(0..n-1) across the pool's workers and returns when all
@@ -24,6 +81,14 @@ type Pool struct {
 func (p Pool) Do(n int, job func(i int)) {
 	if n <= 0 {
 		return
+	}
+	if pr := p.Progress; pr != nil {
+		inner := job
+		job = func(i int) {
+			t0 := enginestat.NowNS()
+			inner(i)
+			pr.add(enginestat.NowNS() - t0)
+		}
 	}
 	w := p.Workers
 	if w <= 0 {

@@ -1,6 +1,29 @@
 package proto
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// poolProf gathers frame-pool traffic for the engine profiler
+// (internal/enginestat). Off by default: the pooled clone path pays one
+// predictable atomic load per clone, and the counters are process-wide —
+// concurrent profiled clusters in one process see combined traffic, so
+// consumers report deltas from a construction-time baseline.
+var poolProf struct {
+	enabled atomic.Bool
+	gets    atomic.Uint64 // pooled clones served
+	news    atomic.Uint64 // pool refills (fresh allocations)
+}
+
+// SetPoolProfiling toggles frame-pool traffic counting.
+func SetPoolProfiling(on bool) { poolProf.enabled.Store(on) }
+
+// PoolStats returns the cumulative pooled-clone count and the number of
+// those served by a fresh allocation (pool miss).
+func PoolStats() (gets, misses uint64) {
+	return poolProf.gets.Load(), poolProf.news.Load()
+}
 
 // frameBlock is one unit of pooled frame storage: the frame itself plus
 // inline payload structs and reusable byte/route buffers, allocated as a
@@ -14,7 +37,12 @@ type frameBlock struct {
 	rbuf []int  // backing for ControlRoute, likewise
 }
 
-var framePool = sync.Pool{New: func() any { return new(frameBlock) }}
+var framePool = sync.Pool{New: func() any {
+	if poolProf.enabled.Load() {
+		poolProf.news.Add(1)
+	}
+	return new(frameBlock)
+}}
 
 // ClonePooled returns a deep copy of the frame equivalent to Clone, but
 // drawing storage from a package pool when the frame's receive-side
@@ -32,6 +60,9 @@ func (f *Frame) ClonePooled() *Frame {
 	case FrameData, FrameAck, FrameLiveness:
 	default:
 		return f.Clone()
+	}
+	if poolProf.enabled.Load() {
+		poolProf.gets.Add(1)
 	}
 	b := framePool.Get().(*frameBlock)
 	c := &b.f

@@ -44,6 +44,7 @@ func (t Timer) Cancel() bool {
 	}
 	t.k.heapRemove(int(e.pos))
 	t.k.release(t.id)
+	t.k.cancelled++
 	return true
 }
 
@@ -74,8 +75,9 @@ type Kernel struct {
 	free  []int32 // recycled arena slots
 	heap  []int32 // binary heap of event ids, ordered by (at, seq)
 
-	procs    map[*Proc]struct{} // live procs, for shutdown
-	executed uint64             // events executed, for diagnostics
+	procs     map[*Proc]struct{} // live procs, for shutdown
+	executed  uint64             // events executed, for diagnostics
+	cancelled uint64             // events cancelled before firing
 }
 
 // New returns a kernel with its clock at zero and an RNG seeded with seed.
@@ -98,6 +100,32 @@ func (k *Kernel) Executed() uint64 { return k.executed }
 // Pending returns the number of events currently scheduled. Cancelled
 // events are removed eagerly, so the count is exact.
 func (k *Kernel) Pending() int { return len(k.heap) }
+
+// KernelStats is a snapshot of the kernel's event-machinery counters, for
+// the engine profiler. Scheduled counts every schedule call (it equals
+// Cancelled + Executed + Pending once the run has quiesced);
+// ArenaHighWater is the peak number of distinct event slots ever live at
+// once, i.e. the arena's memory footprint in records.
+type KernelStats struct {
+	Scheduled      uint64
+	Cancelled      uint64
+	Executed       uint64
+	Pending        int
+	ArenaHighWater int
+}
+
+// Stats returns the kernel's counter snapshot. Always available — the
+// counters are plain increments on paths that already mutate kernel
+// state, cheap enough to keep unconditionally.
+func (k *Kernel) Stats() KernelStats {
+	return KernelStats{
+		Scheduled:      k.seq,
+		Cancelled:      k.cancelled,
+		Executed:       k.executed,
+		Pending:        len(k.heap),
+		ArenaHighWater: len(k.arena),
+	}
+}
 
 // less orders heap entries by (time, scheduling sequence).
 func (k *Kernel) less(a, b int32) bool {

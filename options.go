@@ -201,6 +201,28 @@ func WithFlightRecorder(fr *FlightRecorder) Option {
 	return func(c *Config) { c.Tracer = fr }
 }
 
+// WithEngineProfiling enables the engine's wall-clock self-profiler:
+// per-worker epoch accounting (busy / barrier-stall / steal / exchange
+// time, steal hit rates, events executed), per-shard kernel counters
+// (scheduled/cancelled/executed, arena high-water mark), and frame/packet
+// pool hit rates. Read the collected profile with Cluster.EngineProfile
+// after the run; render it with its WriteText/WriteJSON/WriteChromeTrace.
+// Profiling observes wall clocks only and feeds nothing back, so results
+// stay byte-identical to an unprofiled run.
+func WithEngineProfiling() Option {
+	return func(c *Config) { c.Profile = true }
+}
+
+// WithTelemetryServer starts a live telemetry HTTP server on addr
+// (host:port; port 0 picks one — Cluster.Telemetry().Addr() reports it):
+// Prometheus /metrics (published on every observer sample and at
+// RunFor/Stop boundaries), the engine profile at /profile, /debug/pprof,
+// and expvar. The server outlives Stop so a final scrape sees the end
+// state; close it with Cluster.Telemetry().Close().
+func WithTelemetryServer(addr string) Option {
+	return func(c *Config) { c.Telemetry = addr }
+}
+
 // WithEngine selects the execution engine: EngineSequential (the
 // default — one kernel, full observability) or EngineSharded (hosts
 // partitioned into shard cells under the conservative parallel engine;

@@ -31,6 +31,7 @@ import (
 
 	"sanft/internal/apps"
 	"sanft/internal/core"
+	"sanft/internal/enginestat"
 	"sanft/internal/fabric"
 	"sanft/internal/fault"
 	"sanft/internal/mapping"
@@ -126,6 +127,14 @@ type (
 	TraceSpanKey = trace.SpanKey
 	// TraceRecovery is the reconstructed event window around one anomaly.
 	TraceRecovery = trace.RecoveryTimeline
+
+	// EngineProfile is the engine self-profiler's collected result
+	// (enable with WithEngineProfiling, read with Cluster.EngineProfile);
+	// EngineProfileSummary its compact derived view; TelemetryServer the
+	// live HTTP endpoint started by WithTelemetryServer.
+	EngineProfile        = enginestat.Profile
+	EngineProfileSummary = enginestat.Summary
+	TelemetryServer      = enginestat.Server
 )
 
 // NewTraceRing returns a ring-buffer tracer holding up to n events; wire
