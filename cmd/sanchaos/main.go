@@ -18,6 +18,19 @@
 //	sanchaos -liveness                # baseline vs liveness variant, side by side
 //	sanchaos -list                    # list campaigns
 //
+// Scale tier — thousand-host datacenter fabrics on the sharded engine:
+//
+//	sanchaos -topo fattree:8 -scenario flapstorm   # correlated flap burst, exactly-once audit
+//	sanchaos -topo fattree:16 -scenario flapstorm  # same at 1024 hosts
+//	sanchaos -topo dragonfly:4,4,4 -scenario gray  # lossy-but-up trunks
+//	sanchaos -scenario stalemap                    # sequential stale-map divergence campaign
+//
+// -topo takes a topology spec (fattree:K, dragonfly:A,P,H,
+// torus:HP,D1,D2,...). flapstorm and gray run on the sharded parallel
+// engine — -workers then sets the engine's OS-thread count, and results
+// are byte-identical for any value. stalemap needs the on-demand mapper
+// and therefore runs the sequential stale-map campaign (-topo is ignored).
+//
 // -liveness runs every selected campaign twice — once under the paper's
 // fixed-timer baseline and once with per-path liveness sessions plus
 // RTT-adaptive retransmission — and reports both, so the mttr_p50/mttr_p99
@@ -35,6 +48,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -61,6 +75,11 @@ func main() {
 	events := flag.Bool("events", false, "print the full event log per campaign")
 	asJSON := flag.Bool("json", false, "emit one JSON object per campaign instead of text")
 	list := flag.Bool("list", false, "list available campaigns and exit")
+	topo := flag.String("topo", "fattree:8",
+		"scale-run topology spec: fattree:K | dragonfly:A,P,H | torus:HP,D1,D2,...")
+	scenario := flag.String("scenario", "",
+		"scale scenario: flapstorm | gray (sharded, on -topo) | stalemap (sequential campaign)")
+	flows := flag.Int("flows", 0, "scale-run flow count (0 = one per host)")
 	httpAddr := flag.String("http", "",
 		"serve live telemetry on this address during the grid: Prometheus /metrics (cumulative across finished runs), /progress, /debug/pprof")
 	httpHold := flag.Duration("http-hold", 0,
@@ -79,6 +98,9 @@ func main() {
 	}
 	if *reps < 1 {
 		*reps = 1
+	}
+	if *scenario != "" {
+		os.Exit(runScale(*scenario, *topo, *seed, *reps, *workers, *flows, *events, *asJSON))
 	}
 
 	// One campaign list per protocol variant. With -liveness the grid holds
@@ -193,6 +215,70 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runScale drives the scale tier: flapstorm and gray build a sharded
+// thousand-host cluster from the -topo spec and audit exactly-once
+// delivery; stalemap needs the on-demand mapper, so it dispatches to the
+// sequential stale-map campaign. Returns the process exit code.
+func runScale(scenario, topo string, seed int64, reps, workers, flows int, events, asJSON bool) int {
+	if scenario == "stalemap" {
+		c, _ := chaos.Find("stale-map")
+		failed := 0
+		for r := 0; r < reps; r++ {
+			rep := c.RunInstrumented(seed+int64(r), func(cl *core.Cluster) {
+				cl.InstallTracer(trace.NewFlightRecorder(8192))
+			})
+			if err := report.Write(os.Stdout, rep, asJSON); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if events && !asJSON {
+				fmt.Println("  event log:")
+				fmt.Println(indent(rep.EventLog))
+			}
+			if !rep.Passed() {
+				failed++
+				if rep.FlightDump != "" && !asJSON {
+					fmt.Println("  flight recorder (post-mortem):")
+					fmt.Println(indent(rep.FlightDump))
+				}
+			}
+			if !asJSON {
+				fmt.Println()
+			}
+		}
+		if failed > 0 {
+			return 1
+		}
+		return 0
+	}
+	failed := 0
+	for r := 0; r < reps; r++ {
+		rep, err := chaos.RunScale(chaos.ScaleOpts{
+			Topo: topo, Scenario: scenario, Seed: seed + int64(r),
+			Workers: workers, Flows: flows,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sanchaos: %v\n", err)
+			return 2
+		}
+		if asJSON {
+			if err := json.NewEncoder(os.Stdout).Encode(rep); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		} else {
+			fmt.Println(rep.String())
+		}
+		if !rep.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }
 
 // publishMerged folds one finished (quiescent) campaign cluster's metrics

@@ -198,6 +198,10 @@ type Cluster struct {
 	obs           *metrics.Observer
 	tracer        trace.Tracer
 
+	// remapRunning counts mapping runs in flight cluster-wide, for
+	// RemapPolicy.MaxConcurrent pacing.
+	remapRunning int
+
 	// Sharded-engine state (nil/empty on the sequential engine).
 	cfg    Config
 	cells  []*cell
@@ -261,6 +265,7 @@ func newSequential(cfg Config) *Cluster {
 	obs := metrics.NewObserver(cfg.Metrics)
 	reg := obs.Registry()
 	c := &Cluster{
+		cfg:           cfg,
 		K:             k,
 		Net:           cfg.Net,
 		Fab:           fabric.New(k, cfg.Net, cfg.Fabric),
@@ -299,12 +304,17 @@ func newSequential(cfg Config) *Cluster {
 		c.nics[h] = n
 		c.eps[h] = vmmc.NewEndpoint(k, n, c.Dir)
 	}
+	// Pre-install all-pairs shortest routes with one BFS per source host
+	// (O(H·E) total). ShortestFrom's visit order and tie-breaks are
+	// identical to per-pair Shortest, so installed routes are byte-for-byte
+	// the same as the historical O(H²·E) rescan produced.
 	for _, a := range cfg.Hosts {
+		routes := routing.ShortestFrom(cfg.Net, a)
 		for _, b := range cfg.Hosts {
 			if a == b {
 				continue
 			}
-			if r, err := routing.Shortest(cfg.Net, a, b); err == nil {
+			if r, ok := routes[b]; ok {
 				c.nics[a].SetRoute(b, r)
 			}
 		}
@@ -435,6 +445,46 @@ func (c *Cluster) RemapInFlight() (running, armed int) {
 		armed += a
 	}
 	return
+}
+
+// SuspendRemap freezes host h's failure recovery: stale-path / no-route /
+// session-down triggers are held instead of starting mapping runs, so h
+// keeps routing on its pre-failure map. Stale-map divergence scenarios use
+// this to open a blind window; ResumeRemap replays the held triggers.
+// Sequential engine with mapping enabled only.
+func (c *Cluster) SuspendRemap(h topology.NodeID) {
+	c.mustSequential("SuspendRemap")
+	rm := c.remaps[h]
+	if rm == nil {
+		panic("core: SuspendRemap on a cluster without Config.Mapper")
+	}
+	rm.suspend()
+}
+
+// ResumeRemap re-enables host h's failure recovery and replays every
+// trigger held while suspended, in destination order.
+func (c *Cluster) ResumeRemap(h topology.NodeID) {
+	c.mustSequential("ResumeRemap")
+	rm := c.remaps[h]
+	if rm == nil {
+		panic("core: ResumeRemap on a cluster without Config.Mapper")
+	}
+	rm.resume()
+}
+
+// SetLinkLoss makes topology link id gray: packets crossing it drop with
+// probability rate from a deterministic per-(seed, link) stream. Works on
+// both engines (on the sharded engine every shard replica gets the same
+// stream parameters; each samples only the packets it carries). rate 0
+// clears the loss.
+func (c *Cluster) SetLinkLoss(link int, rate float64) {
+	if c.eng != nil {
+		for _, cl := range c.cells {
+			cl.pipe.SetLinkLoss(link, rate, c.cfg.Seed)
+		}
+		return
+	}
+	c.Fab.SetLinkLoss(link, rate, c.cfg.Seed)
 }
 
 // Host returns the i-th host's node ID.

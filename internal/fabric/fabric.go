@@ -65,6 +65,7 @@ type Fabric struct {
 	deliver map[topology.NodeID]func(*Packet)
 	worms   map[*worm]struct{} // in-flight, for flush operations
 	wormSeq uint64             // injection-order serial for deterministic worm ordering
+	gray    map[int]*grayLink  // per-link probabilistic loss (SetLinkLoss)
 
 	// transitHook, if set, runs once per packet at delivery time and may
 	// mutate it (set Corrupted) or return false to drop it in transit.
@@ -231,6 +232,13 @@ func (f *Fabric) Inject(src topology.NodeID, pkt *Packet) {
 		// No worm was created, so nothing will ever release the injection
 		// channel: complete the send DMA here or the source NIC's transmit
 		// path wedges forever.
+		if pkt.OnInjectDone != nil {
+			pkt.OnInjectDone()
+		}
+		return
+	}
+	if f.graySample(l.ID) {
+		f.drop(pkt, DropGray)
 		if pkt.OnInjectDone != nil {
 			pkt.OnInjectDone()
 		}

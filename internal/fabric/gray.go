@@ -1,0 +1,96 @@
+package fabric
+
+// Gray failures: a link that is up but lossy. Clean failures (KillLink,
+// KillSwitch) drop every packet and are eventually noticed by liveness or
+// the permanent-failure threshold; a gray link drops a fraction and lets
+// the rest through, which is the datacenter failure class protocols
+// misdiagnose most often. SetLinkLoss models it at the fabric layer on
+// both engines: each packet crossing the link consults a per-link
+// deterministic counter stream (SplitMix64 over an advancing counter), so
+// a given (seed, link) pair produces the same drop schedule on every run —
+// and, in sharded mode, on every shard replica independent of worker
+// count (each shard samples only the packets it carries, in its own
+// kernel's deterministic order).
+//
+// The stream is stateful rather than a per-packet hash on purpose: a
+// stateless hash of the packet identity would doom specific retransmitted
+// frames to be dropped forever (every retry hashes the same), turning a
+// probabilistic fault into a deterministic black hole for some sequence
+// numbers. With a counter stream each crossing is a fresh draw, which is
+// what "X% loss" means physically.
+
+// grayLink is the loss state of one lossy link.
+type grayLink struct {
+	threshold uint64 // drop when a draw's top 32 bits fall below this
+	state     uint64 // SplitMix64 counter
+}
+
+// newGrayLink derives the link's private stream from (seed, link).
+func newGrayLink(rate float64, seed int64, link int) *grayLink {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &grayLink{
+		threshold: uint64(rate * float64(1<<32)),
+		state:     mix64(uint64(seed) ^ (uint64(link)+1)*0x9e3779b97f4a7c15),
+	}
+}
+
+// drop advances the stream one draw and reports whether this crossing is
+// dropped.
+func (g *grayLink) drop() bool {
+	g.state += 0x9e3779b97f4a7c15
+	return mix64(g.state)>>32 < g.threshold
+}
+
+// mix64 is the SplitMix64 finalizer.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// SetLinkLoss makes link id gray on the wormhole fabric: every worm
+// crossing it is dropped with probability rate, drawn from the link's
+// deterministic (seed, link) stream. rate 0 removes the loss.
+func (f *Fabric) SetLinkLoss(link int, rate float64, seed int64) {
+	if rate <= 0 {
+		delete(f.gray, link)
+		return
+	}
+	if f.gray == nil {
+		f.gray = make(map[int]*grayLink)
+	}
+	f.gray[link] = newGrayLink(rate, seed, link)
+}
+
+// graySample draws the gray stream of link id (if any) for one crossing.
+func (f *Fabric) graySample(link int) bool {
+	g := f.gray[link]
+	return g != nil && g.drop()
+}
+
+// SetLinkLoss makes link id gray on the pipe fabric: packets whose
+// injection-time route walk crosses the link are dropped with probability
+// rate, drawn from this shard's deterministic (seed, link) stream.
+func (p *Pipe) SetLinkLoss(link int, rate float64, seed int64) {
+	if rate <= 0 {
+		delete(p.gray, link)
+		return
+	}
+	if p.gray == nil {
+		p.gray = make(map[int]*grayLink)
+	}
+	p.gray[link] = newGrayLink(rate, seed, link)
+}
+
+func (p *Pipe) graySample(link int) bool {
+	g := p.gray[link]
+	return g != nil && g.drop()
+}

@@ -50,9 +50,11 @@ const (
 	// DropFlushed: the packet was in flight across a link or switch that
 	// was killed.
 	DropFlushed
+	// DropGray: lost on a gray (lossy-but-up) link; see SetLinkLoss.
+	DropGray
 )
 
-var dropNames = [...]string{"none", "no-route", "bad-route", "dead-link", "dead-switch", "watchdog", "injected", "flushed"}
+var dropNames = [...]string{"none", "no-route", "bad-route", "dead-link", "dead-switch", "watchdog", "injected", "flushed", "gray"}
 
 func (r DropReason) String() string {
 	if int(r) < len(dropNames) {

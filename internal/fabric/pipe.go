@@ -46,6 +46,7 @@ type Pipe struct {
 
 	transitHook func(*Packet) bool
 	tracer      trace.Tracer
+	gray        map[int]*grayLink // per-link probabilistic loss (SetLinkLoss)
 
 	stats Stats
 	reg   *metrics.Registry
@@ -179,6 +180,10 @@ func (p *Pipe) Inject(src topology.NodeID, pkt *Packet) {
 		fail(DropNoRoute)
 		return
 	}
+	if p.graySample(l.ID) {
+		fail(DropGray)
+		return
+	}
 	lat := p.cfg.PropDelay
 	cur := l.Other(src).Node
 	for _, port := range pkt.Route {
@@ -199,6 +204,10 @@ func (p *Pipe) Inject(src topology.NodeID, pkt *Packet) {
 		nl := node.Ports[port]
 		if !p.nw.LinkUsable(nl) {
 			fail(DropDeadLink)
+			return
+		}
+		if p.graySample(nl.ID) {
+			fail(DropGray)
 			return
 		}
 		lat += p.cfg.PropDelay

@@ -161,6 +161,10 @@ func (w *worm) advance(sw topology.NodeID) {
 		w.die(DropDeadLink)
 		return
 	}
+	if f.graySample(l.ID) {
+		w.die(DropGray)
+		return
+	}
 	e := l.Other(sw)
 	w.request(keyFor(l, sw), e.Node)
 }

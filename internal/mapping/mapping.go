@@ -125,10 +125,19 @@ type discSwitch struct {
 	entry  int           // the port by which `prefix` enters this switch
 	ports  map[int]portContent
 	depth  int
+
+	sig   string // memoized signature (valid when sigOK)
+	sigOK bool
 }
 
-// signature builds the (port → host) fingerprint used for dedup.
+// signature builds the (port → host) fingerprint used for dedup. The dedup
+// scan compares every new switch against every known one, so the string is
+// memoized — rebuilt only after a host entry lands on this switch — which
+// keeps the scan a cheap string comparison at thousand-host scale.
 func (d *discSwitch) signature() string {
+	if d.sigOK {
+		return d.sig
+	}
 	var ps []int
 	for p, c := range d.ports {
 		if c.kind == portHost {
@@ -140,6 +149,7 @@ func (d *discSwitch) signature() string {
 	for _, p := range ps {
 		sig += fmt.Sprintf("%d:%d;", p, d.ports[p].host)
 	}
+	d.sig, d.sigOK = sig, true
 	return sig
 }
 
@@ -323,6 +333,7 @@ func (m *Mapper) run(p *sim.Proc, target topology.NodeID) (mp *Map, st Stats) {
 			route := append(sw.prefix.Clone(), q)
 			if host, ok := m.probeHost(p, &st, route, sw.rev); ok {
 				sw.ports[q] = portContent{kind: portHost, host: host}
+				sw.sigOK = false
 				if _, dup := mp.Hosts[host]; !dup {
 					mp.Hosts[host] = hostLoc{sw: si, port: q}
 					st.HostsFound++
@@ -369,6 +380,35 @@ func (m *Mapper) run(p *sim.Proc, target topology.NodeID) (mp *Map, st Stats) {
 			if sig != "" {
 				for j, known := range mp.Switches {
 					if known.signature() == sig {
+						dupOf = j
+						break
+					}
+				}
+			} else {
+				// Hostless switch (Clos aggregation/core tier): no
+				// (port → host) fingerprint exists, and without any dedup
+				// the BFS oscillates — every path back toward the mapper
+				// rediscovers shallower switches at depth+2, re-expands
+				// them, and the frontier grows combinatorially up to
+				// MaxDepth. Identify true revisits by return-route
+				// behavior: an echo sent into the candidate and out along
+				// a known shallower switch's return route physically loops
+				// back to this NIC iff the candidate IS that switch (a
+				// foreign NIC drops the unknown probe, so a symmetric twin
+				// times out on the host-bearing tail of the return route).
+				// Only strictly shallower switches are compared: same-depth
+				// twins reached through a shared parent route home
+				// identically and would wrongly merge — costing whole
+				// subtrees on symmetric fabrics — so they stay as separate
+				// entries. That duplication is bounded (one entry per
+				// parallel parent, no recursion: their children dedup here
+				// against the shallower originals).
+				for j, known := range mp.Switches {
+					if known.depth >= next.depth || known.signature() != "" {
+						continue
+					}
+					route := append(append(sw.prefix.Clone(), q), known.rev...)
+					if m.probeEcho(p, &st, route) {
 						dupOf = j
 						break
 					}
@@ -447,19 +487,6 @@ func (m *Mapper) FullMap(p *sim.Proc) (*Map, Stats) {
 // failure mark dst unreachable and drop its pending packets. Returns the
 // stats and whether dst was reachable.
 func (m *Mapper) Remap(p *sim.Proc, dst topology.NodeID) (Stats, bool) {
-	fwd, rev, st, ok := m.MapTo(p, dst)
-	if !ok {
-		m.n.MarkUnreachable(dst)
-		return st, false
-	}
-	// The route update goes out first so that dst can acknowledge the
-	// re-sent data over the new path immediately.
-	upd := &proto.Frame{
-		Type:  proto.FrameRouteUpdate,
-		Dst:   dst,
-		Probe: &proto.ProbePayload{Mapper: m.n.Node(), ReturnRoute: rev},
-	}
-	m.n.SendControl(upd, fwd)
-	m.n.ResetPath(dst, fwd)
-	return st, true
+	_, st, ok := m.RemapK(p, dst, 1)
+	return st, ok
 }

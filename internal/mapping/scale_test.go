@@ -1,0 +1,137 @@
+package mapping
+
+import (
+	"testing"
+	"time"
+
+	"sanft/internal/fabric"
+	"sanft/internal/nic"
+	"sanft/internal/retrans"
+	"sanft/internal/sim"
+	"sanft/internal/topology"
+)
+
+// The mapper's scale tier: probe-count budgets and a 1k-host benchmark on
+// the datacenter builders. The interesting regression here is quadratic
+// blow-up — a rescan that revisits known switches per new host, or a
+// dedup miss (the hostless-switch case) that re-explores whole subtrees.
+
+// scaleRig wires NICs (FT on) on every host without a *testing.T, so
+// benchmarks can share it.
+type scaleRig struct {
+	k    *sim.Kernel
+	nics map[topology.NodeID]*nic.NIC
+}
+
+func newScaleRig(nw *topology.Network, hosts []topology.NodeID) *scaleRig {
+	k := sim.New(1)
+	fab := fabric.New(k, nw, fabric.DefaultConfig())
+	r := &scaleRig{k: k, nics: make(map[topology.NodeID]*nic.NIC)}
+	for _, h := range hosts {
+		r.nics[h] = nic.New(k, fab, h, nic.Options{
+			FT:      true,
+			Retrans: retrans.Config{QueueSize: 16, Interval: time.Millisecond},
+		})
+	}
+	return r
+}
+
+// fullMapProbes maps the whole fabric from the first host and returns the
+// probe stats. cfg.MaxRadix should be the fabric's true switch radix —
+// what a caller that knows its hardware would configure.
+func fullMapProbes(nw *topology.Network, hosts []topology.NodeID, cfg Config) (*Map, Stats, int) {
+	r := newScaleRig(nw, hosts)
+	m := New(r.k, r.nics[hosts[0]], cfg)
+	var mp *Map
+	var st Stats
+	done := false
+	r.k.Spawn("mapper", func(p *sim.Proc) {
+		mp, st = m.FullMap(p)
+		done = true
+	})
+	// Run in one-second virtual chunks and stop as soon as the mapper
+	// finishes: with hundreds of NICs the idle retransmission timers alone
+	// would otherwise burn tens of millions of kernel events.
+	for i := 0; i < 600 && !done; i++ {
+		r.k.RunFor(time.Second)
+	}
+	r.k.Stop()
+	found := 0
+	for _, h := range hosts {
+		if h == hosts[0] {
+			continue
+		}
+		if _, _, ok := mp.RouteTo(h); ok {
+			found++
+		}
+	}
+	return mp, st, found
+}
+
+// TestFullMapProbeBudget gates the mapper's probe complexity: growing a
+// torus from 32 to 128 hosts (4×) must grow Stats.Total() clearly slower
+// than quadratically (16×), and the absolute cost must stay under a
+// generous linear budget of 40 probes per host.
+func TestFullMapProbeBudget(t *testing.T) {
+	small := topology.Torus(2, 4, 4) // 32 hosts, 16 switches
+	big := topology.Torus(2, 8, 8)   // 128 hosts, 64 switches
+	_, sSt, sFound := fullMapProbes(small.Net, small.Hosts, Config{MaxRadix: 6})
+	_, bSt, bFound := fullMapProbes(big.Net, big.Hosts, Config{MaxRadix: 6})
+	if sFound != len(small.Hosts)-1 || bFound != len(big.Hosts)-1 {
+		t.Fatalf("incomplete maps: %d/%d and %d/%d hosts",
+			sFound, len(small.Hosts)-1, bFound, len(big.Hosts)-1)
+	}
+	t.Logf("32 hosts: %d probes (%+v)", sSt.Total(), sSt)
+	t.Logf("128 hosts: %d probes (%+v)", bSt.Total(), bSt)
+	ratio := float64(bSt.Total()) / float64(sSt.Total())
+	if ratio > 8 {
+		t.Fatalf("4x hosts cost %.1fx probes — quadratic would be 16x, budget is 8x", ratio)
+	}
+	if budget := 40 * len(big.Hosts); bSt.Total() > budget {
+		t.Fatalf("mapping 128 hosts took %d probes, budget %d (40/host)", bSt.Total(), budget)
+	}
+}
+
+// TestFullMapHostlessTiers runs the same budget check on a Clos fabric,
+// whose aggregation and core tiers carry no hosts: without echo-identity
+// dedup every hostless switch is rediscovered once per path to it and the
+// BFS explodes combinatorially.
+func TestFullMapHostlessTiers(t *testing.T) {
+	small := topology.FatTree(4) // 16 hosts, 20 switches
+	big := topology.FatTree(8)   // 128 hosts, 80 switches
+	_, sSt, sFound := fullMapProbes(small.Net, small.Hosts, Config{MaxRadix: 4})
+	_, bSt, bFound := fullMapProbes(big.Net, big.Hosts, Config{MaxRadix: 8})
+	if sFound != len(small.Hosts)-1 || bFound != len(big.Hosts)-1 {
+		t.Fatalf("incomplete maps: %d/%d and %d/%d hosts",
+			sFound, len(small.Hosts)-1, bFound, len(big.Hosts)-1)
+	}
+	t.Logf("fattree:4: %d probes (%+v)", sSt.Total(), sSt)
+	t.Logf("fattree:8: %d probes (%+v)", bSt.Total(), bSt)
+	// 8x hosts; quadratic would be 64x. The fabric also doubles in radix,
+	// so allow an extra factor beyond the host ratio. The per-host constant
+	// is higher than the torus budget because hostless-tier dedup is paid
+	// in failed echo probes: each genuinely new aggregation/core switch is
+	// echo-tested against every shallower hostless known before admission.
+	if ratio := float64(bSt.Total()) / float64(sSt.Total()); ratio > 40 {
+		t.Fatalf("8x hosts cost %.1fx probes — quadratic would be 64x, budget is 40x", ratio)
+	}
+	if budget := 160 * len(big.Hosts); bSt.Total() > budget {
+		t.Fatalf("mapping 128 hosts took %d probes, budget %d (160/host)", bSt.Total(), budget)
+	}
+}
+
+// BenchmarkFullMap1k maps a 1024-host torus (256 switches) end to end per
+// iteration — the wall-clock cost of the mapper's data structures at
+// datacenter scale.
+func BenchmarkFullMap1k(b *testing.B) {
+	tr := topology.Torus(4, 16, 16) // 1024 hosts, 256 switches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, found := fullMapProbes(tr.Net, tr.Hosts, Config{MaxRadix: 8, MaxDepth: 33})
+		if found != len(tr.Hosts)-1 {
+			b.Fatalf("incomplete map: %d/%d hosts", found, len(tr.Hosts)-1)
+		}
+		b.ReportMetric(float64(st.Total()), "probes/op")
+	}
+}

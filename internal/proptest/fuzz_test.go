@@ -1,6 +1,7 @@
 package proptest
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -45,6 +46,74 @@ func byteAt(data []byte, i int) byte {
 		return data[i]
 	}
 	return 0
+}
+
+// FuzzTopoBuilders decodes fuzz input into a datacenter builder spec and
+// checks the structural contract every in-range spec must satisfy: the
+// network validates, the advertised host count matches the closed form for
+// the family, the trunk list is exactly the switch-to-switch links with no
+// duplicates, and construction is deterministic.
+func FuzzTopoBuilders(f *testing.F) {
+	f.Add([]byte{0, 1})
+	f.Add([]byte{1, 1, 0, 1})
+	f.Add([]byte{2, 1, 0, 2})
+	f.Add([]byte{5, 3, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec string
+		var wantHosts int
+		switch byteAt(data, 0) % 3 {
+		case 0:
+			k := 2 + 2*(int(byteAt(data, 1))%3) // 2, 4, 6
+			spec = fmt.Sprintf("fattree:%d", k)
+			wantHosts = k * k * k / 4
+		case 1:
+			a := 1 + int(byteAt(data, 1))%3
+			p := 1 + int(byteAt(data, 2))%2
+			h := 1 + int(byteAt(data, 3))%2
+			spec = fmt.Sprintf("dragonfly:%d,%d,%d", a, p, h)
+			wantHosts = (a*h + 1) * a * p
+		default:
+			hp := 1 + int(byteAt(data, 1))%2
+			d1 := 2 + int(byteAt(data, 2))%3
+			d2 := 2 + int(byteAt(data, 3))%3
+			spec = fmt.Sprintf("torus:%d,%d,%d", hp, d1, d2)
+			wantHosts = hp * d1 * d2
+		}
+		built, err := topology.ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("in-range spec %q rejected: %v", spec, err)
+		}
+		nw := built.Net
+		if err := nw.Validate(); err != nil {
+			t.Fatalf("%s: invalid network: %v", spec, err)
+		}
+		if len(built.Hosts) != wantHosts || len(nw.Hosts()) != wantHosts {
+			t.Fatalf("%s: %d hosts (network %d), want %d",
+				spec, len(built.Hosts), len(nw.Hosts()), wantHosts)
+		}
+		wantTrunks := len(nw.Links) - wantHosts
+		if len(built.Trunks) != wantTrunks {
+			t.Fatalf("%s: %d trunks, want %d", spec, len(built.Trunks), wantTrunks)
+		}
+		seen := make(map[int]bool)
+		for _, l := range built.Trunks {
+			if seen[l.ID] {
+				t.Fatalf("%s: trunk %d listed twice", spec, l.ID)
+			}
+			seen[l.ID] = true
+			if nw.Node(l.A.Node).Kind != topology.Switch ||
+				nw.Node(l.B.Node).Kind != topology.Switch {
+				t.Fatalf("%s: trunk %d touches a host", spec, l.ID)
+			}
+		}
+		again, err := topology.ParseSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nw.String() != again.Net.String() {
+			t.Fatalf("%s: two builds differ", spec)
+		}
+	})
 }
 
 // FuzzMapper decodes fuzz input into a topology plus a set of link kills,

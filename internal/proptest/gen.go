@@ -23,11 +23,19 @@ const (
 	TopoDoubleStar
 	// TopoRandom: irregular switch graph with biased degree.
 	TopoRandom
+	// TopoFatTree: a small 3-tier Clos (k=2 or 4) — hostless aggregation
+	// and core tiers, the mapper's hardest dedup case.
+	TopoFatTree
+	// TopoDragonfly: a small dragonfly — local meshes plus global links.
+	TopoDragonfly
+	// TopoTorus: a small 2D torus — wraparound rings, no hostless tier.
+	TopoTorus
 
 	numTopoKinds
 )
 
-var topoNames = [...]string{"star", "chain", "ring", "double-star", "random"}
+var topoNames = [...]string{"star", "chain", "ring", "double-star", "random",
+	"fattree", "dragonfly", "torus"}
 
 func (k TopoKind) String() string {
 	if int(k) < len(topoNames) {
@@ -73,6 +81,17 @@ func (ts TopoSpec) Build() (*topology.Network, []topology.NodeID) {
 		return topology.DoubleStar(clamp(ts.Hosts, 2, 8))
 	case TopoRandom:
 		return topology.Random(clamp(ts.Hosts, 2, 6), clamp(ts.Switches, 2, 4), 8, 3.0, ts.Seed)
+	case TopoFatTree:
+		// k must be even; 2 or 4 keeps scenarios fast (2 or 16 hosts).
+		k := 2 + 2*(clamp(ts.Switches, 2, 3)-2)
+		ft := topology.FatTree(k)
+		return ft.Net, ft.Hosts
+	case TopoDragonfly:
+		d := topology.Dragonfly(clamp(ts.Switches, 1, 2), clamp(ts.Hosts, 1, 2), 1)
+		return d.Net, d.Hosts
+	case TopoTorus:
+		tr := topology.Torus(clamp(ts.Hosts, 1, 2), clamp(ts.Switches, 2, 3), clamp(ts.Width, 2, 3))
+		return tr.Net, tr.Hosts
 	default:
 		return topology.Star(clamp(ts.Hosts, 2, 8))
 	}
@@ -98,11 +117,17 @@ const (
 	FaultSwitchFlap
 	// FaultDropBurst injects send-side drops at Rate on one host for Dur.
 	FaultDropBurst
+	// FaultStaleMap suspends one host's failure recovery for Dur: the host
+	// keeps routing on its pre-failure map while triggers are held, then
+	// replays them on resume. The oracle proves delivery converges after
+	// the blind window ends.
+	FaultStaleMap
 
 	numFaultKinds
 )
 
-var faultNames = [...]string{"link-flap", "link-kill", "switch-flap", "drop-burst"}
+var faultNames = [...]string{"link-flap", "link-kill", "switch-flap", "drop-burst",
+	"stale-map"}
 
 func (k FaultKind) String() string {
 	if int(k) < len(faultNames) {

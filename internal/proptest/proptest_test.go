@@ -227,6 +227,31 @@ func TestCorpusRegressions(t *testing.T) {
 	}
 }
 
+// TestStaleMapOracleExercised replays the pinned stale-map corpus scenario
+// and requires it to actually open a blind window that holds recovery
+// triggers — otherwise the stale-map oracle (held triggers must replay
+// into remap attempts) is never on the hook and the pin proves nothing.
+func TestStaleMapOracleExercised(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", "proptest", "stalemap-chain.sim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseSim(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunSim(sc)
+	if res.Failed() {
+		t.Fatalf("pinned stale-map scenario fails: %v", res.Violations)
+	}
+	if res.StaleHeld == 0 {
+		t.Fatal("pinned stale-map scenario held no recovery triggers — blind window never bit")
+	}
+	if res.Delivered != res.Expected {
+		t.Fatalf("delivered %d of %d after the blind window", res.Delivered, res.Expected)
+	}
+}
+
 // TestWriteFailureArtifacts exercises the triage-dump path on a passing
 // run (artifact writing must not depend on failure).
 func TestWriteFailureArtifacts(t *testing.T) {

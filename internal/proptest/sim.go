@@ -23,6 +23,10 @@ type SimResult struct {
 	// UnreachablePairs counts traffic pairs waived from the delivery check
 	// because the sender declared the destination unreachable.
 	UnreachablePairs int
+	// StaleHeld counts recovery triggers held during stale-map blind
+	// windows (the remap.held counter); the stale-map oracle requires any
+	// held trigger to replay into a remap attempt after resume.
+	StaleHeld int
 	// Recorder holds the run's flight recorder, for artifact dumps.
 	Recorder *trace.FlightRecorder
 }
@@ -108,6 +112,16 @@ func (s schedule) Install(e *chaos.Engine) {
 				e.C.K.After(f.Dur, func() {
 					e.Record("proptest drop-burst end host %d", h)
 					e.C.NIC(h).SetDropper(nil)
+				})
+			})
+		case FaultStaleMap:
+			h := e.C.Hosts[f.Index%len(e.C.Hosts)]
+			e.C.K.After(f.At, func() {
+				e.RecordFault("proptest stale-map host %d blind for %v", h, f.Dur)
+				e.C.SuspendRemap(h)
+				e.C.K.After(f.Dur, func() {
+					e.Record("proptest stale-map end host %d", h)
+					e.C.ResumeRemap(h)
 				})
 			})
 		}
@@ -218,6 +232,17 @@ func RunSimWith(sc SimScenario, pre func(*chaos.Engine)) *SimResult {
 
 	for _, v := range chaos.CheckInvariants(e, run, chaos.CheckOpts{AllowLoss: true}) {
 		res.Violations = append(res.Violations, v.String())
+	}
+
+	// Stale-map oracle: triggers held during a blind window must replay
+	// into real remap attempts once the window closes — a host that holds
+	// recovery requests and then drops them on resume would pass the
+	// delivery check only by luck (when the pre-failure map still works).
+	res.StaleHeld = int(c.Metrics().CounterTotal("remap.held"))
+	if res.StaleHeld > 0 && c.Metrics().CounterTotal("remap.attempts") == 0 {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"stale-map: %d triggers held in the blind window but no remap attempt after resume",
+			res.StaleHeld))
 	}
 
 	// Per-pair delivery: loss is only legal toward destinations the sender

@@ -3,6 +3,8 @@ package topology
 import (
 	"fmt"
 	"math/rand"
+
+	"sanft/internal/parsim"
 )
 
 // Star builds the micro-benchmark topology: n hosts on a single full
@@ -174,11 +176,18 @@ func DoubleStar(nHosts int) (*Network, []NodeID) {
 // given radix and nHosts hosts attached to random switches. Extra random
 // switch-to-switch links are added until avgDegree is reached (or ports run
 // out). Deterministic for a given seed.
+//
+// The seed is finalized through parsim.ShardSeed — the same per-shard RNG
+// discipline every engine component uses — rather than fed to math/rand
+// raw, so adjacent seeds (the common "replica i uses seed base+i" pattern
+// under the sharded engine and campaign grids) draw from uncorrelated
+// streams and a topology built inside any shard is reproducible from
+// (seed) alone.
 func Random(nHosts, nSwitches, radix int, avgDegree float64, seed int64) (*Network, []NodeID) {
 	if nSwitches < 1 || nHosts < 0 {
 		panic("topology: bad random parameters")
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(parsim.ShardSeed(seed, 0)))
 	nw := New()
 	sws := make([]NodeID, nSwitches)
 	for i := range sws {

@@ -1,0 +1,381 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file holds the datacenter-scale builders: three-tier Clos (fat-tree),
+// dragonfly, and k-ary n-dimensional torus fabrics. Unlike the paper-scale
+// builders (Star, Chain, Fig2) these return a structured handle alongside
+// the network, so failure scenarios can target structural link classes —
+// "all uplinks of pod 3", "one global link per group", "every +x link of
+// dimension 1" — instead of raw link IDs.
+//
+// All builders wire with ConnectAny in a fixed construction order, so node
+// IDs, link IDs, and port assignments are fully determined by the
+// parameters: two calls with equal arguments produce identical networks.
+
+// ---------------------------------------------------------------------------
+// Fat-tree (3-tier folded Clos)
+// ---------------------------------------------------------------------------
+
+// FatTreeNet is the structural handle for a k-ary fat-tree: k pods of k/2
+// edge and k/2 aggregation switches each, (k/2)² core switches, k³/4 hosts.
+type FatTreeNet struct {
+	Net *Network
+	K   int
+
+	// Hosts lists every host in pod-major order: pod 0's hosts first
+	// (edge switch by edge switch), then pod 1's, and so on. Contiguous
+	// ranges of this slice are physically local, which keeps the sharded
+	// engine's cross-shard lookahead large.
+	Hosts []NodeID
+	// PodHosts[p] lists pod p's hosts (edge-switch major).
+	PodHosts [][]NodeID
+	// Edge[p] and Agg[p] list pod p's edge and aggregation switches.
+	Edge [][]NodeID
+	Agg  [][]NodeID
+	// Core lists the (k/2)² core switches; core j*(k/2)+i belongs to core
+	// group j and connects to aggregation switch j of every pod.
+	Core []NodeID
+
+	edgeUp [][]*Link // [pod] edge→agg links
+	aggUp  [][]*Link // [pod] agg→core links
+}
+
+// FatTree builds a k-ary three-tier fat-tree (k even, k ≥ 2):
+// k³/4 hosts, 5k²/4 switches of radix k, 3k³/4 links.
+// FatTree(8) is 128 hosts; FatTree(16) is 1024 hosts.
+func FatTree(k int) *FatTreeNet {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topology: fat-tree arity %d must be even and >= 2", k))
+	}
+	half := k / 2
+	nw := New()
+	f := &FatTreeNet{Net: nw, K: k}
+
+	// Core layer first: (k/2)² switches, one port per pod.
+	f.Core = make([]NodeID, half*half)
+	for c := range f.Core {
+		f.Core[c] = nw.AddSwitch(fmt.Sprintf("core%d", c), k)
+	}
+
+	f.Edge = make([][]NodeID, k)
+	f.Agg = make([][]NodeID, k)
+	f.PodHosts = make([][]NodeID, k)
+	f.edgeUp = make([][]*Link, k)
+	f.aggUp = make([][]*Link, k)
+	for p := 0; p < k; p++ {
+		for a := 0; a < half; a++ {
+			f.Agg[p] = append(f.Agg[p], nw.AddSwitch(fmt.Sprintf("agg%d_%d", p, a), k))
+		}
+		for e := 0; e < half; e++ {
+			f.Edge[p] = append(f.Edge[p], nw.AddSwitch(fmt.Sprintf("edge%d_%d", p, e), k))
+		}
+		// Hosts before uplinks, so every edge switch carries its hosts on
+		// ports 0..k/2-1 and its aggregation uplinks on ports k/2..k-1.
+		for e := 0; e < half; e++ {
+			for h := 0; h < half; h++ {
+				id := nw.AddHost(fmt.Sprintf("h%d_%d_%d", p, e, h))
+				nw.ConnectAny(id, f.Edge[p][e])
+				f.PodHosts[p] = append(f.PodHosts[p], id)
+				f.Hosts = append(f.Hosts, id)
+			}
+		}
+		// Full bipartite edge↔agg mesh inside the pod.
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				f.edgeUp[p] = append(f.edgeUp[p], nw.ConnectAny(f.Edge[p][e], f.Agg[p][a]))
+			}
+		}
+		// Aggregation switch a serves core group a: cores a*k/2..a*k/2+k/2-1.
+		for a := 0; a < half; a++ {
+			for i := 0; i < half; i++ {
+				f.aggUp[p] = append(f.aggUp[p], nw.ConnectAny(f.Agg[p][a], f.Core[a*half+i]))
+			}
+		}
+	}
+	return f
+}
+
+// PodUplinks returns pod p's aggregation→core links — cutting all of them
+// isolates the pod from inter-pod traffic.
+func (f *FatTreeNet) PodUplinks(p int) []*Link { return f.aggUp[p] }
+
+// EdgeUplinks returns pod p's edge→aggregation links.
+func (f *FatTreeNet) EdgeUplinks(p int) []*Link { return f.edgeUp[p] }
+
+// TrunkLinks returns every switch-to-switch link (edge→agg and agg→core for
+// all pods) in link-ID order — the natural target set for fabric-wide flap
+// storms that must never touch host NIC links.
+func (f *FatTreeNet) TrunkLinks() []*Link {
+	var ls []*Link
+	for p := 0; p < f.K; p++ {
+		ls = append(ls, f.edgeUp[p]...)
+		ls = append(ls, f.aggUp[p]...)
+	}
+	sortLinksByID(ls)
+	return ls
+}
+
+// ---------------------------------------------------------------------------
+// Dragonfly
+// ---------------------------------------------------------------------------
+
+// DragonflyNet is the structural handle for a dragonfly(a, p, h) fabric:
+// groups of a routers, p hosts per router, h global ports per router, and
+// the canonical maximum group count g = a·h + 1 so every pair of groups is
+// joined by exactly one global link.
+type DragonflyNet struct {
+	Net     *Network
+	A, P, H int
+	Groups  int
+
+	Hosts []NodeID
+	// GroupHosts[g] lists group g's hosts (router-major).
+	GroupHosts [][]NodeID
+	// Routers[g] lists group g's a routers.
+	Routers [][]NodeID
+
+	local  [][]*Link // [group] intra-group mesh links
+	global [][]*Link // [group] global links touching the group, peer-group order
+	pair   map[[2]int]*Link
+}
+
+// Dragonfly builds a dragonfly fabric with a routers per group, p hosts per
+// router, h global links per router, and g = a·h+1 groups (the balanced
+// all-to-all arrangement). Router radix is p + (a-1) + h.
+// Dragonfly(4, 2, 2) is 72 hosts; Dragonfly(8, 4, 4) is 1056 hosts.
+func Dragonfly(a, p, h int) *DragonflyNet {
+	if a < 1 || p < 1 || h < 1 {
+		panic(fmt.Sprintf("topology: bad dragonfly parameters a=%d p=%d h=%d", a, p, h))
+	}
+	g := a*h + 1
+	nw := New()
+	d := &DragonflyNet{
+		Net: nw, A: a, P: p, H: h, Groups: g,
+		GroupHosts: make([][]NodeID, g),
+		Routers:    make([][]NodeID, g),
+		local:      make([][]*Link, g),
+		global:     make([][]*Link, g),
+		pair:       make(map[[2]int]*Link),
+	}
+	radix := p + (a - 1) + h
+	if radix < 2 {
+		radix = 2
+	}
+	for gi := 0; gi < g; gi++ {
+		for r := 0; r < a; r++ {
+			d.Routers[gi] = append(d.Routers[gi], nw.AddSwitch(fmt.Sprintf("r%d_%d", gi, r), radix))
+		}
+		for r := 0; r < a; r++ {
+			for i := 0; i < p; i++ {
+				id := nw.AddHost(fmt.Sprintf("h%d_%d_%d", gi, r, i))
+				nw.ConnectAny(id, d.Routers[gi][r])
+				d.GroupHosts[gi] = append(d.GroupHosts[gi], id)
+				d.Hosts = append(d.Hosts, id)
+			}
+		}
+		// Intra-group full mesh.
+		for s := 0; s < a; s++ {
+			for t := s + 1; t < a; t++ {
+				d.local[gi] = append(d.local[gi], nw.ConnectAny(d.Routers[gi][s], d.Routers[gi][t]))
+			}
+		}
+	}
+	// Global all-to-all: groups i<j joined once. Group i reaches group j
+	// through its global slot j-i-1; a slot s lives on router s/h. Each
+	// group's a·h slots are used exactly once, so per-router global port
+	// budgets balance at h.
+	for i := 0; i < g; i++ {
+		for j := i + 1; j < g; j++ {
+			si := j - i - 1
+			sj := g - (j - i) - 1
+			l := nw.ConnectAny(d.Routers[i][si/h], d.Routers[j][sj/h])
+			d.pair[[2]int{i, j}] = l
+			d.global[i] = append(d.global[i], l)
+			d.global[j] = append(d.global[j], l)
+		}
+	}
+	for gi := range d.global {
+		sortLinksByID(d.global[gi])
+	}
+	return d
+}
+
+// GlobalLinks returns every global link touching group g, in link-ID order.
+// GlobalLinks(g)[0] is the deterministic "one global link per group" pick.
+func (d *DragonflyNet) GlobalLinks(g int) []*Link { return d.global[g] }
+
+// GlobalLink returns the unique global link joining groups i and j.
+func (d *DragonflyNet) GlobalLink(i, j int) *Link {
+	if i > j {
+		i, j = j, i
+	}
+	return d.pair[[2]int{i, j}]
+}
+
+// LocalLinks returns group g's intra-group mesh links.
+func (d *DragonflyNet) LocalLinks(g int) []*Link { return d.local[g] }
+
+// TrunkLinks returns every switch-to-switch link (local meshes then the
+// global all-to-all) in link-ID order.
+func (d *DragonflyNet) TrunkLinks() []*Link {
+	var ls []*Link
+	for gi := 0; gi < d.Groups; gi++ {
+		ls = append(ls, d.local[gi]...)
+	}
+	for _, l := range d.pair {
+		ls = append(ls, l)
+	}
+	sortLinksByID(ls)
+	return ls
+}
+
+// ---------------------------------------------------------------------------
+// Torus
+// ---------------------------------------------------------------------------
+
+// TorusNet is the structural handle for a k-ary n-dimensional torus of
+// switches with hostsPer hosts on each switch.
+type TorusNet struct {
+	Net      *Network
+	Dims     []int
+	HostsPer int
+
+	Hosts []NodeID
+	// Switches is coordinate-indexed in row-major order (last dimension
+	// fastest); use At to translate coordinates.
+	Switches []NodeID
+	// SwitchHosts[i] lists the hosts on Switches[i].
+	SwitchHosts [][]NodeID
+
+	dimLinks [][]*Link // [dim] all +1-direction links along that dimension
+	stride   []int
+}
+
+// Torus builds an n-dimensional torus: one switch per coordinate of the
+// dims box, wrapped in every dimension, with hostsPer hosts on each switch.
+// Every dimension must be ≥ 2; dimensions of size 2 get doubled (redundant)
+// links, one from each side of the wrap. Switch radix is
+// hostsPer + 2·len(dims). Torus(4, 16, 16) is 1024 hosts.
+func Torus(hostsPer int, dims ...int) *TorusNet {
+	if hostsPer < 0 || len(dims) == 0 {
+		panic("topology: torus needs hostsPer >= 0 and at least one dimension")
+	}
+	n := 1
+	for _, d := range dims {
+		if d < 2 {
+			panic(fmt.Sprintf("topology: torus dimension %d < 2", d))
+		}
+		n *= d
+	}
+	nw := New()
+	t := &TorusNet{
+		Net: nw, Dims: append([]int(nil), dims...), HostsPer: hostsPer,
+		SwitchHosts: make([][]NodeID, n),
+		dimLinks:    make([][]*Link, len(dims)),
+		stride:      make([]int, len(dims)),
+	}
+	s := 1
+	for d := len(dims) - 1; d >= 0; d-- {
+		t.stride[d] = s
+		s *= dims[d]
+	}
+	radix := hostsPer + 2*len(dims)
+	if radix < 2 {
+		radix = 2
+	}
+	for i := 0; i < n; i++ {
+		t.Switches = append(t.Switches, nw.AddSwitch(fmt.Sprintf("sw%s", coordName(t.coord(i))), radix))
+	}
+	for i, sw := range t.Switches {
+		for h := 0; h < hostsPer; h++ {
+			id := nw.AddHost(fmt.Sprintf("h%s_%d", coordName(t.coord(i)), h))
+			nw.ConnectAny(id, sw)
+			t.SwitchHosts[i] = append(t.SwitchHosts[i], id)
+			t.Hosts = append(t.Hosts, id)
+		}
+	}
+	// Each switch wires its +1 neighbor in every dimension; the wraparound
+	// closes each ring. Size-2 dimensions produce two parallel links per
+	// pair (one initiated from each side), i.e. built-in redundancy.
+	for i := range t.Switches {
+		c := t.coord(i)
+		for d := range dims {
+			nc := append([]int(nil), c...)
+			nc[d] = (nc[d] + 1) % dims[d]
+			l := nw.ConnectAny(t.Switches[i], t.At(nc...))
+			t.dimLinks[d] = append(t.dimLinks[d], l)
+		}
+	}
+	return t
+}
+
+// At returns the switch at the given coordinate.
+func (t *TorusNet) At(coord ...int) NodeID {
+	if len(coord) != len(t.Dims) {
+		panic(fmt.Sprintf("topology: torus coordinate %v needs %d dimensions", coord, len(t.Dims)))
+	}
+	i := 0
+	for d, c := range coord {
+		if c < 0 || c >= t.Dims[d] {
+			panic(fmt.Sprintf("topology: torus coordinate %v out of range %v", coord, t.Dims))
+		}
+		i += c * t.stride[d]
+	}
+	return t.Switches[i]
+}
+
+// HostsAt returns the hosts attached to the switch at the given coordinate.
+func (t *TorusNet) HostsAt(coord ...int) []NodeID {
+	i := 0
+	for d, c := range coord {
+		i += c * t.stride[d]
+	}
+	_ = t.At(coord...) // bounds check
+	return t.SwitchHosts[i]
+}
+
+// DimLinks returns every switch-to-switch link running along dimension d —
+// the target set for "cut one whole dimension" scenarios.
+func (t *TorusNet) DimLinks(d int) []*Link {
+	ls := append([]*Link(nil), t.dimLinks[d]...)
+	sortLinksByID(ls)
+	return ls
+}
+
+// TrunkLinks returns every switch-to-switch link across all dimensions in
+// link-ID order.
+func (t *TorusNet) TrunkLinks() []*Link {
+	var ls []*Link
+	for d := range t.dimLinks {
+		ls = append(ls, t.dimLinks[d]...)
+	}
+	sortLinksByID(ls)
+	return ls
+}
+
+func (t *TorusNet) coord(i int) []int {
+	c := make([]int, len(t.Dims))
+	for d := range t.Dims {
+		c[d] = (i / t.stride[d]) % t.Dims[d]
+	}
+	return c
+}
+
+func coordName(c []int) string {
+	s := ""
+	for d, v := range c {
+		if d > 0 {
+			s += "_"
+		}
+		s += fmt.Sprint(v)
+	}
+	return s
+}
+
+func sortLinksByID(ls []*Link) {
+	sort.Slice(ls, func(i, j int) bool { return ls[i].ID < ls[j].ID })
+}

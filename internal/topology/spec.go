@@ -1,0 +1,104 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Built is the engine-facing view of a parsed topology spec: the network,
+// its hosts in construction order, and the trunk (switch-to-switch) link
+// set that fabric-wide failure scenarios target. Handle holds the builder's
+// structured handle (*FatTreeNet, *DragonflyNet, or *TorusNet) for callers
+// that need pod/group/coordinate indexing.
+type Built struct {
+	Net    *Network
+	Hosts  []NodeID
+	Trunks []*Link
+	Kind   string
+	Desc   string
+	Handle any
+}
+
+// ParseSpec builds a datacenter topology from a CLI spec string:
+//
+//	fattree:K            k-ary 3-tier Clos        (fattree:8 = 128 hosts)
+//	dragonfly:A,P,H      dragonfly, g = A·H+1     (dragonfly:8,4,4 = 1056 hosts)
+//	torus:HP,D1,D2,...   torus, HP hosts/switch   (torus:4,16,16 = 1024 hosts)
+//
+// Parameters are validated here (with readable errors) rather than left to
+// the builders' panics.
+func ParseSpec(spec string) (*Built, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	args, err := specInts(rest)
+	if err != nil {
+		return nil, fmt.Errorf("topology spec %q: %v", spec, err)
+	}
+	switch kind {
+	case "fattree":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("topology spec %q: want fattree:K", spec)
+		}
+		k := args[0]
+		if k < 2 || k%2 != 0 {
+			return nil, fmt.Errorf("topology spec %q: arity must be even and >= 2", spec)
+		}
+		f := FatTree(k)
+		return &Built{
+			Net: f.Net, Hosts: f.Hosts, Trunks: f.TrunkLinks(), Kind: kind,
+			Desc:   fmt.Sprintf("fat-tree k=%d (%d hosts, %d switches)", k, len(f.Hosts), len(f.Core)+k*k),
+			Handle: f,
+		}, nil
+	case "dragonfly":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("topology spec %q: want dragonfly:A,P,H", spec)
+		}
+		a, p, h := args[0], args[1], args[2]
+		if a < 1 || p < 1 || h < 1 {
+			return nil, fmt.Errorf("topology spec %q: all parameters must be >= 1", spec)
+		}
+		d := Dragonfly(a, p, h)
+		return &Built{
+			Net: d.Net, Hosts: d.Hosts, Trunks: d.TrunkLinks(), Kind: kind,
+			Desc:   fmt.Sprintf("dragonfly a=%d p=%d h=%d (%d groups, %d hosts)", a, p, h, d.Groups, len(d.Hosts)),
+			Handle: d,
+		}, nil
+	case "torus":
+		if len(args) < 3 {
+			return nil, fmt.Errorf("topology spec %q: want torus:HOSTSPER,D1,D2[,...]", spec)
+		}
+		hp, dims := args[0], args[1:]
+		if hp < 1 {
+			return nil, fmt.Errorf("topology spec %q: hosts per switch must be >= 1", spec)
+		}
+		for _, d := range dims {
+			if d < 2 {
+				return nil, fmt.Errorf("topology spec %q: every dimension must be >= 2", spec)
+			}
+		}
+		t := Torus(hp, dims...)
+		return &Built{
+			Net: t.Net, Hosts: t.Hosts, Trunks: t.TrunkLinks(), Kind: kind,
+			Desc:   fmt.Sprintf("torus %v ×%d hosts/switch (%d hosts)", dims, hp, len(t.Hosts)),
+			Handle: t,
+		}, nil
+	default:
+		return nil, fmt.Errorf("topology spec %q: unknown kind (want fattree, dragonfly, or torus)", spec)
+	}
+}
+
+func specInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing parameters")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad parameter %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,9 +1,12 @@
 package topology
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"sanft/internal/parsim"
 )
 
 func TestStar(t *testing.T) {
@@ -313,5 +316,52 @@ func TestPropertyChainValid(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRandomShardSeedDiscipline is the regression gate for Random's RNG
+// derivation: the builder must draw from rand seeded with
+// parsim.ShardSeed(seed, 0) — the same per-shard discipline the parallel
+// engine applies to its kernels — so a randomized topology replays
+// identically no matter which engine or worker count hosts it. The test
+// replays the spanning-tree draws from the disciplined stream and checks
+// the wiring matches; a revert to plain rand.NewSource(seed) changes the
+// choices and fails both assertions.
+func TestRandomShardSeedDiscipline(t *testing.T) {
+	const seed = 77
+	nw, _ := Random(0, 8, 8, 2.0, seed)
+	sws := nw.Switches()
+	peers := func(rng *rand.Rand) []NodeID {
+		out := make([]NodeID, len(sws))
+		for i := 1; i < len(sws); i++ {
+			out[i] = sws[rng.Intn(i)]
+		}
+		return out
+	}
+	want := peers(rand.New(rand.NewSource(parsim.ShardSeed(seed, 0))))
+	for i := 1; i < len(sws); i++ {
+		// Switch i's spanning-tree link is its first wired port: nothing
+		// touches switch i before its own tree step, and extra links come
+		// only after the tree is complete.
+		l := nw.Node(sws[i]).Ports[0]
+		if l == nil {
+			t.Fatalf("switch %d has no tree link", i)
+		}
+		if got := l.Other(sws[i]).Node; got != want[i] {
+			t.Fatalf("switch %d tree peer = %d, want %d (ShardSeed discipline broken)",
+				i, got, want[i])
+		}
+	}
+	// And the disciplined stream must actually differ from the raw seed —
+	// otherwise this test could not detect the revert it exists to catch.
+	raw := peers(rand.New(rand.NewSource(seed)))
+	same := true
+	for i := range raw {
+		if raw[i] != want[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("ShardSeed(seed, 0) stream indistinguishable from raw seed stream")
 	}
 }
