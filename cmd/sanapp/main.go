@@ -10,6 +10,7 @@
 //	sanapp -app fft            # one application
 //	sanapp -paper              # Table 2 problem sizes (very slow)
 //	sanapp -rates 0,1e-3       # restrict the error-rate groups
+//	sanapp -json               # unified report JSON (same shape as the other CLIs)
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"sanft"
+	"sanft/internal/report"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 	rates := flag.String("rates", "0,1e-4,1e-3,1e-2", "comma-separated error rates (the paper plots 0,1e-4,1e-3; 1e-2 added so scaled runs visibly degrade)")
 	config := flag.String("config", "", "restrict to one protocol configuration, e.g. r1ms-q32 (default: all four Figure 9 bars)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	asJSON := flag.Bool("json", false, "emit the figure as unified report JSON instead of text")
 	flag.Parse()
 
 	var names []string
@@ -72,6 +75,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *asJSON {
+		if err := report.Write(os.Stdout, sanft.Fig9Report(cells), true); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Println(sanft.Fig9String(cells))
 	fmt.Printf("(regenerated in %v wall time)\n", time.Since(start).Round(time.Millisecond))

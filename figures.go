@@ -7,6 +7,7 @@ import (
 	"sanft/internal/apps"
 	"sanft/internal/core"
 	"sanft/internal/microbench"
+	"sanft/internal/report"
 	"sanft/internal/stats"
 )
 
@@ -323,8 +324,9 @@ func runApp(c *core.Cluster, name string, scale Fig9Scale) (AppResult, error) {
 	}
 }
 
-// Fig9String renders cells grouped the way the figure is.
-func Fig9String(cells []Fig9Cell) string {
+// fig9Rows renders cells into the shared header/row shape used by both
+// the text and report forms.
+func fig9Rows(cells []Fig9Cell) ([]string, [][]string) {
 	header := []string{"app", "err-rate", "config", "compute", "data", "lock", "barrier", "elapsed", "drops"}
 	var rows [][]string
 	for _, c := range cells {
@@ -336,6 +338,23 @@ func Fig9String(cells []Fig9Cell) string {
 			c.Elapsed.String(), fmt.Sprint(c.Drops),
 		})
 	}
+	return header, rows
+}
+
+// Fig9String renders cells grouped the way the figure is.
+func Fig9String(cells []Fig9Cell) string {
+	header, rows := fig9Rows(cells)
 	return "Figure 9: application execution-time breakdowns (max across workers)\n" +
 		table(header, rows)
+}
+
+// Fig9Report renders cells as the unified report.Table, so sanapp -json
+// emits the same machine-readable shape as every other CLI.
+func Fig9Report(cells []Fig9Cell) *report.Table {
+	header, rows := fig9Rows(cells)
+	return &report.Table{
+		Name:   "Figure 9: application execution-time breakdowns (max across workers)",
+		Header: header,
+		Cells:  rows,
+	}
 }

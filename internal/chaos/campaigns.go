@@ -74,12 +74,13 @@ type Report struct {
 	Unreachables int
 	RemapStats   core.RemapStats
 
-	// MTTR summarizes delivery stalls (see Engine.MTTR); MTTRp50 and
-	// MTTRp99 are the stall quantiles (zero when no stalls were observed)
-	// — the numbers the baseline-vs-liveness comparison ranks by.
-	MTTR    string
-	MTTRp50 time.Duration
-	MTTRp99 time.Duration
+	// MTTR summarizes delivery stalls (see Engine.MTTR); MTTRp50, MTTRp99,
+	// and MTTRp999 are the stall quantiles (zero when no stalls were
+	// observed) — the numbers the baseline-vs-liveness comparison ranks by.
+	MTTR     string
+	MTTRp50  time.Duration
+	MTTRp99  time.Duration
+	MTTRp999 time.Duration
 
 	Violations []Violation
 
@@ -124,20 +125,51 @@ func (r *Report) String() string {
 type Campaign struct {
 	Name  string
 	About string
-	// run builds and executes the campaign. pre, if non-nil, runs right
-	// after the cluster is built and before any traffic or faults — the
-	// instrumentation hook (attach samplers, grab the Observer).
-	run func(seed int64, pre func(*core.Cluster)) *Report
+	// run builds and executes the campaign under the caller's hooks.
+	run func(seed int64, h runHooks) *Report
+}
+
+// runHooks carries the caller-supplied extension points into a campaign
+// run: pre fires on the freshly built cluster before any traffic or
+// faults (the instrumentation hook), and traffic replaces the built-in
+// synthetic workload (the injection hook).
+type runHooks struct {
+	pre     func(*core.Cluster)
+	traffic TrafficInjector
+}
+
+// cluster invokes the instrumentation hook, if any.
+func (h runHooks) cluster(c *core.Cluster) {
+	if h.pre != nil {
+		h.pre(c)
+	}
+}
+
+// engine builds the campaign's engine with the traffic injector wired in,
+// so every StartTraffic call inside the campaign sees it.
+func (h runHooks) engine(c *core.Cluster, seed int64) *Engine {
+	e := NewEngine(c, seed)
+	e.inject = h.traffic
+	return e
 }
 
 // Run executes the campaign with the given seed.
-func (c Campaign) Run(seed int64) *Report { return c.run(seed, nil) }
+func (c Campaign) Run(seed int64) *Report { return c.run(seed, runHooks{}) }
 
 // RunInstrumented executes the campaign, invoking pre on the freshly built
 // cluster before traffic starts. cmd/sanstat uses it to start periodic
 // metric sampling and capture the cluster's Observer.
 func (c Campaign) RunInstrumented(seed int64, pre func(*core.Cluster)) *Report {
-	return c.run(seed, pre)
+	return c.run(seed, runHooks{pre: pre})
+}
+
+// RunWithTraffic executes the campaign with an injected traffic source in
+// place of the built-in synthetic workload: same topology, fault
+// schedule, invariant oracle, and report — only the traffic differs. pre
+// may be nil; inj receives the campaign's default workload so it can
+// reuse the pair set the fault schedule targets.
+func (c Campaign) RunWithTraffic(seed int64, pre func(*core.Cluster), inj TrafficInjector) *Report {
+	return c.run(seed, runHooks{pre: pre, traffic: inj})
 }
 
 // finish stops the cluster, audits invariants, and assembles the report.
@@ -156,9 +188,9 @@ func finish(name string, v Variant, seed int64, e *Engine, r *Run, opts CheckOpt
 		}
 		dump = e.fr.Dump()
 	}
-	var p50, p99 time.Duration
+	var p50, p99, p999 time.Duration
 	if e.mttr.Count() > 0 {
-		p50, p99 = e.mttr.Quantile(0.5), e.mttr.Quantile(0.99)
+		p50, p99, p999 = e.mttr.Quantile(0.5), e.mttr.Quantile(0.99), e.mttr.Quantile(0.999)
 	}
 	return &Report{
 		Campaign:     name,
@@ -166,10 +198,11 @@ func finish(name string, v Variant, seed int64, e *Engine, r *Run, opts CheckOpt
 		Seed:         seed,
 		MTTRp50:      p50,
 		MTTRp99:      p99,
+		MTTRp999:     p999,
 		Faults:       e.Faults(),
 		Events:       e.Events(),
 		EventLog:     e.LogText(),
-		Pairs:        len(r.W.Pairs),
+		Pairs:        r.NumPairs(),
 		Expected:     r.Expected(),
 		Delivered:    r.Delivered(),
 		Duplicates:   r.Duplicates(),
@@ -218,15 +251,13 @@ func CampaignsWith(v Variant) []Campaign {
 		{
 			Name:  "link-flap",
 			About: "random trunk flaps on a redundant chain; strict delivery",
-			run: func(seed int64, pre func(*core.Cluster)) *Report {
+			run: func(seed int64, h runHooks) *Report {
 				c, hosts := chainCluster(seed, v)
-				if pre != nil {
-					pre(c)
-				}
-				e := NewEngine(c, seed)
+				h.cluster(c)
+				e := h.engine(c, seed)
 				// Pace the traffic across the whole flap window (~60ms); the
 				// 3ms gap keeps the stall floor below remap-length stalls.
-				r := Workload{Pairs: AllPairs(hosts), Msgs: 20, Gap: 3 * time.Millisecond}.Start(e)
+				r := e.StartTraffic(Workload{Pairs: AllPairs(hosts), Msgs: 20, Gap: 3 * time.Millisecond})
 				e.Install(LinkFlap{Start: time.Millisecond, Cycles: 10})
 				return finish("link-flap", v, seed, e, r,
 					CheckOpts{MaxRemapAttempts: v.maxAttempts(60)}, 20*time.Second)
@@ -235,7 +266,7 @@ func CampaignsWith(v Variant) []Campaign {
 		{
 			Name:  "switch-storm",
 			About: "correlated double switch outage on the Figure-2 tree; loss allowed",
-			run: func(seed int64, pre func(*core.Cluster)) *Report {
+			run: func(seed int64, h runHooks) *Report {
 				f := topology.NewFig2()
 				hosts := append([]topology.NodeID{f.Mapper}, f.Targets[:3]...)
 				cfg := core.Config{
@@ -250,13 +281,11 @@ func CampaignsWith(v Variant) []Campaign {
 				}
 				v.apply(&cfg)
 				c := core.New(cfg)
-				if pre != nil {
-					pre(c)
-				}
-				e := NewEngine(c, seed)
+				h.cluster(c)
+				e := h.engine(c, seed)
 				// Traffic outlasts both outages (~700ms of storm), so
 				// surviving flows show their recovery stalls.
-				r := Workload{Pairs: AllPairs(hosts), Msgs: 20, Gap: 40 * time.Millisecond}.Start(e)
+				r := e.StartTraffic(Workload{Pairs: AllPairs(hosts), Msgs: 20, Gap: 40 * time.Millisecond})
 				e.Install(SwitchOutage{
 					Switches: []topology.NodeID{f.Switches[1], f.Switches[2]},
 					Start:    2 * time.Millisecond,
@@ -270,16 +299,14 @@ func CampaignsWith(v Variant) []Campaign {
 		{
 			Name:  "partition-heal",
 			About: "sever and heal the full cut between two halves of the chain",
-			run: func(seed int64, pre func(*core.Cluster)) *Report {
+			run: func(seed int64, h runHooks) *Report {
 				c, hosts := chainCluster(seed, v)
-				if pre != nil {
-					pre(c)
-				}
+				h.cluster(c)
 				sws := c.Net.Switches()
-				e := NewEngine(c, seed)
+				e := h.engine(c, seed)
 				// Demand persists through the 300ms cut, so cross-partition
 				// sources keep triggering remaps until quarantine.
-				r := Workload{Pairs: AllPairs(hosts), Msgs: 30, Gap: 20 * time.Millisecond}.Start(e)
+				r := e.StartTraffic(Workload{Pairs: AllPairs(hosts), Msgs: 30, Gap: 20 * time.Millisecond})
 				e.Install(Partition{
 					A:     sws[:2],
 					B:     sws[2:],
@@ -301,7 +328,7 @@ func CampaignsWith(v Variant) []Campaign {
 		{
 			Name:  "drop-ramp",
 			About: "send-side error rate ramped to 30% and back; strict delivery",
-			run: func(seed int64, pre func(*core.Cluster)) *Report {
+			run: func(seed int64, h runHooks) *Report {
 				nw, hosts := topology.Star(6)
 				cfg := core.Config{
 					Net: nw, Hosts: hosts, FT: true,
@@ -314,12 +341,10 @@ func CampaignsWith(v Variant) []Campaign {
 				}
 				v.apply(&cfg)
 				c := core.New(cfg)
-				if pre != nil {
-					pre(c)
-				}
-				e := NewEngine(c, seed)
+				h.cluster(c)
+				e := h.engine(c, seed)
 				// Traffic spans the whole ramp (~100ms).
-				r := Workload{Pairs: AllPairs(hosts), Msgs: 12, Gap: 10 * time.Millisecond}.Start(e)
+				r := e.StartTraffic(Workload{Pairs: AllPairs(hosts), Msgs: 12, Gap: 10 * time.Millisecond})
 				e.Install(DropRamp{
 					Rates: []float64{0.02, 0.1, 0.3, 0},
 					Start: time.Millisecond,
@@ -331,13 +356,11 @@ func CampaignsWith(v Variant) []Campaign {
 		{
 			Name:  "composite",
 			About: "trunk flapping while the error rate ramps; strict delivery",
-			run: func(seed int64, pre func(*core.Cluster)) *Report {
+			run: func(seed int64, h runHooks) *Report {
 				c, hosts := chainCluster(seed, v)
-				if pre != nil {
-					pre(c)
-				}
-				e := NewEngine(c, seed)
-				r := Workload{Pairs: AllPairs(hosts), Msgs: 20, Gap: 3 * time.Millisecond}.Start(e)
+				h.cluster(c)
+				e := h.engine(c, seed)
+				r := e.StartTraffic(Workload{Pairs: AllPairs(hosts), Msgs: 20, Gap: 3 * time.Millisecond})
 				e.Install(Composite{Parts: []Scenario{
 					LinkFlap{Start: time.Millisecond, Cycles: 8},
 					DropRamp{Rates: []float64{0.05, 0}, Start: time.Millisecond, Step: 30 * time.Millisecond},
@@ -349,7 +372,7 @@ func CampaignsWith(v Variant) []Campaign {
 		{
 			Name:  "flap-storm",
 			About: "correlated seeded flap burst across a fat-tree's trunk classes; strict delivery",
-			run: func(seed int64, pre func(*core.Cluster)) *Report {
+			run: func(seed int64, h runHooks) *Report {
 				// A real Clos fabric, mapped on demand: the hostless
 				// aggregation/core tiers exercise the echo-identity dedup
 				// path no paper-scale topology reaches.
@@ -376,11 +399,9 @@ func CampaignsWith(v Variant) []Campaign {
 				}
 				v.apply(&cfg)
 				c := core.New(cfg)
-				if pre != nil {
-					pre(c)
-				}
-				e := NewEngine(c, seed)
-				r := Workload{Pairs: AllPairs(hosts), Msgs: 15, Gap: 4 * time.Millisecond}.Start(e)
+				h.cluster(c)
+				e := h.engine(c, seed)
+				r := e.StartTraffic(Workload{Pairs: AllPairs(hosts), Msgs: 15, Gap: 4 * time.Millisecond})
 				e.Install(FlapStorm{Start: time.Millisecond, Events: 24, Window: 30 * time.Millisecond})
 				return finish("flap-storm", v, seed, e, r,
 					CheckOpts{MaxRemapAttempts: v.maxAttempts(200)}, 30*time.Second)
@@ -389,17 +410,15 @@ func CampaignsWith(v Variant) []Campaign {
 		{
 			Name:  "stale-map",
 			About: "blind host routes on a pre-failure map through a kill, then converges on resume",
-			run: func(seed int64, pre func(*core.Cluster)) *Report {
+			run: func(seed int64, h runHooks) *Report {
 				c, hosts := chainCluster(seed, v)
-				if pre != nil {
-					pre(c)
-				}
-				e := NewEngine(c, seed)
+				h.cluster(c)
+				e := h.engine(c, seed)
 				blind := hosts[0]
 				far := hosts[4]
 				const blindFor = 150 * time.Millisecond
-				r := Workload{Pairs: []Pair{{blind, far}, {far, blind}}, Msgs: 30,
-					Gap: 5 * time.Millisecond}.Start(e)
+				r := e.StartTraffic(Workload{Pairs: []Pair{{blind, far}, {far, blind}}, Msgs: 30,
+					Gap: 5 * time.Millisecond})
 				// Kill a trunk the blind host's installed route crosses (the
 				// redundant spare survives, so remap has somewhere to go);
 				// the blind window opens just before the kill.
@@ -434,13 +453,11 @@ func CampaignsWith(v Variant) []Campaign {
 		{
 			Name:  "gray-links",
 			About: "a lossy-but-up trunk at 30% drop on the live route; strict delivery",
-			run: func(seed int64, pre func(*core.Cluster)) *Report {
+			run: func(seed int64, h runHooks) *Report {
 				c, hosts := chainCluster(seed, v)
-				if pre != nil {
-					pre(c)
-				}
-				e := NewEngine(c, seed)
-				r := Workload{Pairs: AllPairs(hosts), Msgs: 20, Gap: 3 * time.Millisecond}.Start(e)
+				h.cluster(c)
+				e := h.engine(c, seed)
+				r := e.StartTraffic(Workload{Pairs: AllPairs(hosts), Msgs: 20, Gap: 3 * time.Millisecond})
 				// Gray out a trunk the installed routes actually cross, for
 				// most of the traffic window; retransmission must absorb the
 				// loss and strict delivery must still hold.
@@ -462,12 +479,10 @@ func CampaignsWith(v Variant) []Campaign {
 		{
 			Name:  "link-kill",
 			About: "one trunk dies permanently; the stall isolates detection+remap (MTTR)",
-			run: func(seed int64, pre func(*core.Cluster)) *Report {
+			run: func(seed int64, h runHooks) *Report {
 				c, hosts := chainCluster(seed, v)
-				if pre != nil {
-					pre(c)
-				}
-				e := NewEngine(c, seed)
+				h.cluster(c)
+				e := h.engine(c, seed)
 				// One host per switch keeps the post-kill retransmission
 				// storm light enough that mapping probes survive — the
 				// stall then isolates detection+remap, not congestion.
@@ -476,7 +491,7 @@ func CampaignsWith(v Variant) []Campaign {
 				// detection time (~3ms) and the fixed permanent-failure
 				// threshold (8ms). Traffic outlasts detection plus remap.
 				sparse := []topology.NodeID{hosts[0], hosts[2], hosts[4]}
-				r := Workload{Pairs: AllPairs(sparse), Msgs: 25, Gap: time.Millisecond}.Start(e)
+				r := e.StartTraffic(Workload{Pairs: AllPairs(sparse), Msgs: 25, Gap: time.Millisecond})
 				// Kill a trunk the installed end-to-end route actually uses
 				// (not the redundant spare), so every seed's kill stalls
 				// traffic and forces a detection+remap cycle.

@@ -46,6 +46,11 @@ type Engine struct {
 	rng    *rand.Rand
 	events []string
 
+	// inject, when non-nil, replaces the built-in synthetic workload for
+	// StartTraffic calls — the hook sanload uses to drive campaigns with
+	// production-shaped traffic (see Campaign.RunWithTraffic).
+	inject TrafficInjector
+
 	mttr    *metrics.Histogram
 	faultsC *metrics.Counter
 	fr      *trace.FlightRecorder
@@ -82,8 +87,8 @@ func (e *Engine) MTTRSummary() string {
 	if e.mttr.Count() == 0 {
 		return "no recoveries observed"
 	}
-	return fmt.Sprintf("n=%d mean=%v p99≤%v max=%v",
-		e.mttr.Count(), e.mttr.Mean(), e.mttr.Quantile(0.99), e.mttr.Max())
+	return fmt.Sprintf("n=%d mean=%v p99≤%v p999≤%v max=%v",
+		e.mttr.Count(), e.mttr.Mean(), e.mttr.Quantile(0.99), e.mttr.Quantile(0.999), e.mttr.Max())
 }
 
 // Rand returns the engine's seeded RNG. Scenarios draw their random

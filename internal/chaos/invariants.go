@@ -2,7 +2,23 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
 )
+
+// sortedPairs returns the keys of a pair-keyed map ordered by (Src, Dst).
+func sortedPairs[V any](m map[Pair]V) []Pair {
+	out := make([]Pair, 0, len(m))
+	for pr := range m {
+		out = append(out, pr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
 
 // Violation is one failed invariant, with enough detail to act on.
 type Violation struct {
@@ -46,7 +62,37 @@ func CheckInvariants(e *Engine, r *Run, o CheckOpts) []Violation {
 		out = append(out, Violation{inv, fmt.Sprintf(format, args...)})
 	}
 
-	if r != nil {
+	if r != nil && r.Sent != nil {
+		// External traffic source: the expectation is the send-side
+		// accounting, not a fixed pair × msg grid. Pairs iterate in sorted
+		// order so a violating run reports deterministically.
+		for _, pr := range sortedPairs(r.Sent) {
+			if !o.AllowLoss {
+				missing := 0
+				for id := range r.Sent[pr] {
+					if r.Counts[pr][id] == 0 {
+						missing++
+					}
+				}
+				if missing > 0 {
+					bad("delivery", "pair %d->%d delivered %d of %d messages",
+						pr.Src, pr.Dst, len(r.Sent[pr])-missing, len(r.Sent[pr]))
+				}
+			}
+		}
+		for _, pr := range sortedPairs(r.Counts) {
+			dups := 0
+			for _, c := range r.Counts[pr] {
+				if c > 1 {
+					dups += c - 1
+				}
+			}
+			if dups > 0 {
+				bad("dedup", "pair %d->%d saw %d duplicate notifications",
+					pr.Src, pr.Dst, dups)
+			}
+		}
+	} else if r != nil {
 		if !o.AllowLoss {
 			for _, pr := range r.W.Pairs {
 				if got := len(r.Counts[pr]); got != r.W.Msgs {

@@ -33,7 +33,7 @@ func (r *Report) table() *report.Table {
 			"variant", "verdict", "faults", "events", "pairs", "expected",
 			"delivered", "duplicates", "remaps", "unreachables",
 			"remap_attempts", "remap_coalesced", "remap_deferred",
-			"quarantines", "mttr", "mttr_p50", "mttr_p99", "violations",
+			"quarantines", "mttr", "mttr_p50", "mttr_p99", "mttr_p999", "violations",
 		},
 		Cells: [][]string{{
 			variant,
@@ -53,6 +53,7 @@ func (r *Report) table() *report.Table {
 			r.MTTR,
 			r.MTTRp50.String(),
 			r.MTTRp99.String(),
+			r.MTTRp999.String(),
 			violations,
 		}},
 	}

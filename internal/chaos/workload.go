@@ -42,6 +42,33 @@ type Workload struct {
 	OnNotify func(Pair, uint64)
 }
 
+// TrafficSource abstracts what a campaign drives through the fault
+// schedule: anything that can start traffic against an engine's cluster
+// and return the observation state the invariant oracle audits. The
+// built-in synthetic Workload is one source; internal/workload's
+// production-shaped generators are another.
+type TrafficSource interface {
+	Start(e *Engine) *Run
+}
+
+// TrafficInjector builds a replacement traffic source for a campaign's
+// default workload. The default is passed in so injectors can reuse its
+// shape — most importantly Pairs, which encodes the hosts the campaign's
+// fault schedule targets.
+type TrafficInjector func(e *Engine, dflt Workload) *Run
+
+// StartTraffic starts the campaign's traffic: the injected source when
+// one is installed (Campaign.RunWithTraffic), else the built-in default.
+// Campaigns route every workload start through here so an injected
+// workload inherits the full campaign — topology, fault schedule,
+// invariant oracle, and report — without forking it.
+func (e *Engine) StartTraffic(dflt Workload) *Run {
+	if e.inject != nil {
+		return e.inject(e, dflt)
+	}
+	return dflt.Start(e)
+}
+
 // Run is a started workload's observation state. Receivers record every
 // notification; CheckInvariants consumes the counts afterwards.
 type Run struct {
@@ -50,7 +77,54 @@ type Run struct {
 	// raw material for the delivery and dedup invariants.
 	Counts map[Pair]map[uint64]int
 
+	// Sent, when non-nil, is the per-pair set of injected message IDs —
+	// the expectation side of the delivery invariant for external traffic
+	// sources, which (unlike the built-in workload) do not send a fixed
+	// Msgs per pair. Populate through NoteSent.
+	Sent map[Pair]map[uint64]bool
+
 	lastDelivery map[Pair]sim.Time
+}
+
+// NewExternalRun returns an empty Run with send-side accounting enabled,
+// for traffic sources implemented outside this package: record every
+// Import.Send with NoteSent and every notification with NoteDelivered,
+// and CheckInvariants audits the external traffic exactly as it does the
+// built-in workload's.
+func (e *Engine) NewExternalRun() *Run {
+	return &Run{
+		Counts:       make(map[Pair]map[uint64]int),
+		Sent:         make(map[Pair]map[uint64]bool),
+		lastDelivery: make(map[Pair]sim.Time),
+	}
+}
+
+// NoteSent records one injected message (the ID returned by Import.Send)
+// on the directed pair.
+func (r *Run) NoteSent(pr Pair, id uint64) {
+	m := r.Sent[pr]
+	if m == nil {
+		m = make(map[uint64]bool)
+		r.Sent[pr] = m
+	}
+	m[id] = true
+}
+
+// NoteDelivered records one completion notification on the directed pair
+// and feeds the engine's delivery-stall (MTTR) histogram, mirroring what
+// the built-in workload's receivers do.
+func (e *Engine) NoteDelivered(r *Run, pr Pair, id uint64) {
+	m := r.Counts[pr]
+	if m == nil {
+		m = make(map[uint64]int)
+		r.Counts[pr] = m
+	}
+	m[id]++
+	now := e.C.Now()
+	if last, ok := r.lastDelivery[pr]; ok {
+		e.observeGap(now.Sub(last))
+	}
+	r.lastDelivery[pr] = now
 }
 
 // Start exports a buffer per pair, spawns the receive and send processes,
@@ -110,8 +184,26 @@ func (w Workload) Start(e *Engine) *Run {
 	return r
 }
 
-// Expected returns the number of messages the workload injects in total.
-func (r *Run) Expected() int { return len(r.W.Pairs) * r.W.Msgs }
+// Expected returns the number of messages the workload injects in total:
+// the send-side accounting when enabled, else the fixed pair × msg grid.
+func (r *Run) Expected() int {
+	if r.Sent != nil {
+		n := 0
+		for _, ids := range r.Sent {
+			n += len(ids)
+		}
+		return n
+	}
+	return len(r.W.Pairs) * r.W.Msgs
+}
+
+// NumPairs returns the number of directed pairs the run drove traffic on.
+func (r *Run) NumPairs() int {
+	if r.Sent != nil {
+		return len(r.Sent)
+	}
+	return len(r.W.Pairs)
+}
 
 // Delivered returns the number of distinct messages that produced at
 // least one notification.

@@ -131,26 +131,32 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 
 // HistogramSnapshot is the exportable state of a histogram. Buckets are a
 // sparse [index, count] list in ascending index order, so empty ranges
-// cost nothing and exports are deterministic.
+// cost nothing and exports are deterministic. The tail quantiles (p999,
+// p9999) ride along with p50/p99: SLO reporting ranks fault windows by
+// exactly the latencies the median hides.
 type HistogramSnapshot struct {
-	Count uint64     `json:"count"`
-	SumNS int64      `json:"sum_ns"`
-	MinNS int64      `json:"min_ns"`
-	MaxNS int64      `json:"max_ns"`
-	P50NS int64      `json:"p50_ns"`
-	P99NS int64      `json:"p99_ns"`
-	Bkts  [][2]int64 `json:"buckets,omitempty"`
+	Count   uint64     `json:"count"`
+	SumNS   int64      `json:"sum_ns"`
+	MinNS   int64      `json:"min_ns"`
+	MaxNS   int64      `json:"max_ns"`
+	P50NS   int64      `json:"p50_ns"`
+	P99NS   int64      `json:"p99_ns"`
+	P999NS  int64      `json:"p999_ns"`
+	P9999NS int64      `json:"p9999_ns"`
+	Bkts    [][2]int64 `json:"buckets,omitempty"`
 }
 
 // Snapshot captures the histogram for export.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
-		Count: h.count,
-		SumNS: h.sum,
-		MinNS: int64(h.Min()),
-		MaxNS: h.max,
-		P50NS: int64(h.Quantile(0.50)),
-		P99NS: int64(h.Quantile(0.99)),
+		Count:   h.count,
+		SumNS:   h.sum,
+		MinNS:   int64(h.Min()),
+		MaxNS:   h.max,
+		P50NS:   int64(h.Quantile(0.50)),
+		P99NS:   int64(h.Quantile(0.99)),
+		P999NS:  int64(h.Quantile(0.999)),
+		P9999NS: int64(h.Quantile(0.9999)),
 	}
 	for idx, c := range h.buckets {
 		if c != 0 {
@@ -158,6 +164,78 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		}
 	}
 	return s
+}
+
+// Quantile reconstructs the q-quantile from the snapshot's sparse buckets,
+// with the same bucket-resolution accuracy and min/max substitution as
+// Histogram.Quantile. Snapshots survive the simulation they came from, so
+// post-run consumers (SLO tables, replica merges) can derive any quantile
+// without the live histogram.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return time.Duration(s.MinNS)
+	}
+	if q >= 1 {
+		return time.Duration(s.MaxNS)
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen uint64
+	for _, b := range s.Bkts {
+		seen += uint64(b[1])
+		if seen > rank {
+			u := bucketUpper(int(b[0]))
+			if u > s.MaxNS {
+				u = s.MaxNS
+			}
+			return time.Duration(u)
+		}
+	}
+	return time.Duration(s.MaxNS)
+}
+
+// Merge folds another snapshot into s: counts and sums add, min/max widen,
+// sparse buckets union in ascending index order, and the derived quantiles
+// are recomputed. Merging is commutative and associative up to the derived
+// fields, so replica results folded in a fixed order are deterministic for
+// any worker count.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 || o.MinNS < s.MinNS {
+		s.MinNS = o.MinNS
+	}
+	if o.MaxNS > s.MaxNS {
+		s.MaxNS = o.MaxNS
+	}
+	s.Count += o.Count
+	s.SumNS += o.SumNS
+	merged := make([][2]int64, 0, len(s.Bkts)+len(o.Bkts))
+	i, j := 0, 0
+	for i < len(s.Bkts) || j < len(o.Bkts) {
+		switch {
+		case j >= len(o.Bkts) || (i < len(s.Bkts) && s.Bkts[i][0] < o.Bkts[j][0]):
+			merged = append(merged, s.Bkts[i])
+			i++
+		case i >= len(s.Bkts) || o.Bkts[j][0] < s.Bkts[i][0]:
+			merged = append(merged, o.Bkts[j])
+			j++
+		default:
+			merged = append(merged, [2]int64{s.Bkts[i][0], s.Bkts[i][1] + o.Bkts[j][1]})
+			i, j = i+1, j+1
+		}
+	}
+	s.Bkts = merged
+	s.P50NS = int64(s.Quantile(0.50))
+	s.P99NS = int64(s.Quantile(0.99))
+	s.P999NS = int64(s.Quantile(0.999))
+	s.P9999NS = int64(s.Quantile(0.9999))
 }
 
 // BucketUpperBound exposes the decode side of the bucket mapping for

@@ -314,3 +314,74 @@ func TestObserverOnSample(t *testing.T) {
 		t.Fatalf("OnSample calls = %v, want [100 200]", got)
 	}
 }
+
+// TestTailQuantilesPinned pins the p999/p9999 surfacing end to end: the
+// snapshot JSON (and hence JSONL exports) and the Summary digest line.
+// The distribution is chosen so every value lands in a unit-wide bucket
+// (< 2^histSubBits) and the quantiles are exact, making the expected
+// bytes hand-computable.
+func TestTailQuantilesPinned(t *testing.T) {
+	o := NewObserver(Config{})
+	h := o.Registry().Histogram("lat", nil)
+	for i := 0; i < 989; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	h.Observe(20)
+
+	wantSummary := "histograms:\n" +
+		"  lat                                                      " +
+		"n=1000 mean=1ns p50=1ns p99=5ns p999=20ns p9999=20ns max=20ns\n"
+	if got := o.Summary(); got != wantSummary {
+		t.Errorf("Summary() = %q, want %q", got, wantSummary)
+	}
+
+	o.SampleNow(7)
+	var buf bytes.Buffer
+	if err := o.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := `{"t_ns":7,"histograms":{"lat":{"count":1000,"sum_ns":1059,` +
+		`"min_ns":1,"max_ns":20,"p50_ns":1,"p99_ns":5,"p999_ns":20,"p9999_ns":20,` +
+		`"buckets":[[1,989],[5,10],[20,1]]}}}` + "\n"
+	if got := buf.String(); got != wantJSON {
+		t.Errorf("JSONL = %q, want %q", got, wantJSON)
+	}
+}
+
+// TestSnapshotQuantileMerge: snapshots answer arbitrary quantiles after
+// the fact, and merging two snapshots equals snapshotting one histogram
+// holding both observation sets — the property replica folds rely on.
+func TestSnapshotQuantileMerge(t *testing.T) {
+	r := NewRegistry()
+	a, b, both := r.Histogram("a", nil), r.Histogram("b", nil), r.Histogram("ab", nil)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Intn(1 << 22))
+		a.Observe(d)
+		both.Observe(d)
+	}
+	for i := 0; i < 300; i++ {
+		d := time.Duration(1<<24 + rng.Intn(1<<26))
+		b.Observe(d)
+		both.Observe(d)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	want := both.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 0.9999, 1} {
+		if got, w := sa.Quantile(q), both.Quantile(q); got != w {
+			t.Errorf("merged Quantile(%g) = %v, live histogram %v", q, got, w)
+		}
+		if got, w := want.Quantile(q), both.Quantile(q); got != w {
+			t.Errorf("snapshot Quantile(%g) = %v, live histogram %v", q, got, w)
+		}
+	}
+	if sa.Count != want.Count || sa.SumNS != want.SumNS ||
+		sa.MinNS != want.MinNS || sa.MaxNS != want.MaxNS ||
+		sa.P999NS != want.P999NS || sa.P9999NS != want.P9999NS {
+		t.Errorf("merged snapshot %+v != combined snapshot %+v", sa, want)
+	}
+}

@@ -322,8 +322,9 @@ func (o *Observer) Summary() string {
 		b.WriteString("histograms:\n")
 		for _, id := range sortedKeys(o.reg.hists) {
 			h := o.reg.hists[id]
-			fmt.Fprintf(&b, "  %-56s n=%d mean=%v p50=%v p99=%v max=%v\n",
-				id, h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max())
+			fmt.Fprintf(&b, "  %-56s n=%d mean=%v p50=%v p99=%v p999=%v p9999=%v max=%v\n",
+				id, h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99),
+				h.Quantile(0.999), h.Quantile(0.9999), h.Max())
 		}
 	}
 	if b.Len() == 0 {

@@ -1,0 +1,31 @@
+package proptest
+
+import (
+	"math/rand"
+	"time"
+
+	"sanft/internal/workload"
+)
+
+// GenWorkloadSpec derives a production-traffic workload spec from a
+// single seed: protocol, generator discipline, client/op counts, and
+// the sizing knobs, all drawn from ranges every backend accepts. Like
+// GenSim, the derivation is the contract — one seed fixes the whole
+// op schedule, so a failing spec reproduces from its seed alone.
+func GenWorkloadSpec(seed int64) workload.Spec {
+	rng := rand.New(rand.NewSource(seed))
+	s := workload.Spec{
+		Proto:    []workload.Proto{workload.ProtoRPC, workload.ProtoKV, workload.ProtoStream}[rng.Intn(3)],
+		Mode:     []workload.Mode{workload.ModeOpen, workload.ModeClosed}[rng.Intn(2)],
+		Seed:     rng.Int63(),
+		Clients:  1 + rng.Intn(6),
+		Ops:      10 + rng.Intn(90),
+		Rate:     float64(2000 * (1 + rng.Intn(10))),
+		Think:    time.Duration(1+rng.Intn(3)) * time.Millisecond,
+		Pipeline: 1 + rng.Intn(4),
+		ValBytes: []int{32, 128, 256, 1024}[rng.Intn(4)],
+		Chunks:   1 + rng.Intn(6),
+		GetFrac:  []float64{0.25, 0.5, 0.9}[rng.Intn(3)],
+	}
+	return s
+}

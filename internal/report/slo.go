@@ -1,0 +1,254 @@
+package report
+
+import (
+	"fmt"
+	"time"
+
+	"sanft/internal/metrics"
+)
+
+// SLO is a service-level objective over a workload run, judged per time
+// window: within every window of length Window, at least GoodFrac of the
+// completed operations must finish under Latency and the error (timeout)
+// rate must stay at or below MaxErrRate. A window that breaks either
+// clause — or that saw demand but completed nothing at all — is an SLO
+// violation, and the violated windows sum to "SLO-minutes lost": the
+// user-facing cost of a fault expressed in outage time rather than
+// protocol counters.
+type SLO struct {
+	// Latency is the per-operation latency bound (default 1ms).
+	Latency time.Duration
+	// GoodFrac is the fraction of a window's completions that must meet
+	// Latency (default 0.999).
+	GoodFrac float64
+	// MaxErrRate is the tolerated per-window error/timeout rate as a
+	// fraction of issued operations (default 0.001).
+	MaxErrRate float64
+	// Window is the judgment granularity (default 50ms of simulated time).
+	Window time.Duration
+}
+
+// DefaultSLO returns the contract used when fields are left zero.
+func DefaultSLO() SLO {
+	return SLO{
+		Latency:    time.Millisecond,
+		GoodFrac:   0.999,
+		MaxErrRate: 0.001,
+		Window:     50 * time.Millisecond,
+	}
+}
+
+// WithDefaults fills zero fields from DefaultSLO.
+func (s SLO) WithDefaults() SLO {
+	d := DefaultSLO()
+	if s.Latency == 0 {
+		s.Latency = d.Latency
+	}
+	if s.GoodFrac == 0 {
+		s.GoodFrac = d.GoodFrac
+	}
+	if s.MaxErrRate == 0 {
+		s.MaxErrRate = d.MaxErrRate
+	}
+	if s.Window == 0 {
+		s.Window = d.Window
+	}
+	return s
+}
+
+// SLOWindow is the per-window operation accounting an SLO is judged on.
+type SLOWindow struct {
+	Issued    uint64 `json:"issued"`
+	Completed uint64 `json:"completed"`
+	// Errors are operations that timed out (or were still incomplete when
+	// the run stopped), attributed to the window of their deadline.
+	Errors uint64 `json:"errors"`
+	// Slow are completions over the SLO latency bound.
+	Slow uint64 `json:"slow"`
+}
+
+// SLOResult is one scenario cell's raw material: identity labels, overall
+// operation counts, the latency distribution (an HDR snapshot, so any
+// quantile is derivable after the run), and the window series the
+// SLO-minutes computation walks. Replica results merge with Merge; the
+// rendered forms come from NewSLOTable / NewSLODeltaTable.
+type SLOResult struct {
+	// Scenario identifies the cell: workload proto/mode, e.g. "kv/open".
+	Scenario string `json:"scenario"`
+	// Topo and Fault complete the grid coordinates ("fattree:16",
+	// "linkflap" or "none").
+	Topo  string `json:"topo"`
+	Fault string `json:"fault"`
+
+	SLO SLO `json:"slo"`
+
+	Issued    uint64 `json:"issued"`
+	Completed uint64 `json:"completed"`
+	Errors    uint64 `json:"errors"`
+	// PayloadBytes counts application payload of completed operations —
+	// the goodput numerator (headers, replication, and retransmission
+	// traffic excluded).
+	PayloadBytes uint64 `json:"payload_bytes"`
+	// ElapsedNS is the simulated span the windows cover (replicas run the
+	// same span, so merging keeps it).
+	ElapsedNS int64 `json:"elapsed_ns"`
+
+	Latency metrics.HistogramSnapshot `json:"latency"`
+	Windows []SLOWindow               `json:"windows"`
+}
+
+// Merge folds another replica of the same cell into r: counts add,
+// windows add element-wise (replicas share the window clock), and the
+// latency snapshots merge. Folding replicas in a fixed order yields
+// byte-identical tables for any pool worker count.
+func (r *SLOResult) Merge(o SLOResult) {
+	r.Issued += o.Issued
+	r.Completed += o.Completed
+	r.Errors += o.Errors
+	r.PayloadBytes += o.PayloadBytes
+	if o.ElapsedNS > r.ElapsedNS {
+		r.ElapsedNS = o.ElapsedNS
+	}
+	r.Latency.Merge(o.Latency)
+	if len(o.Windows) > len(r.Windows) {
+		r.Windows = append(r.Windows, make([]SLOWindow, len(o.Windows)-len(r.Windows))...)
+	}
+	for i, w := range o.Windows {
+		r.Windows[i].Issued += w.Issued
+		r.Windows[i].Completed += w.Completed
+		r.Windows[i].Errors += w.Errors
+		r.Windows[i].Slow += w.Slow
+	}
+}
+
+// ViolatedWindows counts the windows that broke the SLO: error rate over
+// budget, slow fraction over budget, or demand with zero completions (a
+// blackout window).
+func (r *SLOResult) ViolatedWindows() int {
+	slo := r.SLO.WithDefaults()
+	n := 0
+	for _, w := range r.Windows {
+		if w.Issued == 0 && w.Completed == 0 && w.Errors == 0 {
+			continue
+		}
+		bad := false
+		if w.Issued > 0 && float64(w.Errors) > slo.MaxErrRate*float64(w.Issued) {
+			bad = true
+		}
+		if w.Completed > 0 && float64(w.Slow) > (1-slo.GoodFrac)*float64(w.Completed) {
+			bad = true
+		}
+		if w.Issued > 0 && w.Completed == 0 {
+			bad = true
+		}
+		if bad {
+			n++
+		}
+	}
+	return n
+}
+
+// SLOMinutesLost converts the violated windows to outage minutes — the
+// headline "what did users lose" number.
+func (r *SLOResult) SLOMinutesLost() float64 {
+	slo := r.SLO.WithDefaults()
+	return float64(r.ViolatedWindows()) * slo.Window.Minutes()
+}
+
+// ErrRate returns errors over issued operations (0 when nothing issued).
+func (r *SLOResult) ErrRate() float64 {
+	if r.Issued == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Issued)
+}
+
+// GoodputMBps returns completed payload over the elapsed simulated time,
+// in MB/s (0 when no time elapsed).
+func (r *SLOResult) GoodputMBps() float64 {
+	if r.ElapsedNS <= 0 {
+		return 0
+	}
+	return float64(r.PayloadBytes) / 1e6 / (float64(r.ElapsedNS) / 1e9)
+}
+
+// sloHeader is the column set shared by the SLO table and pinned by the
+// acceptance criteria: scenario identity, the three latency quantiles,
+// goodput, error rate, and SLO-minutes lost.
+var sloHeader = []string{
+	"scenario", "topo", "fault", "ops", "done", "p50", "p99", "p999",
+	"goodput_mbps", "err_rate", "slo_min_lost", "bad_windows",
+}
+
+// row renders one result with fixed-precision formatting, so tables are
+// byte-deterministic.
+func (r *SLOResult) row() []string {
+	return []string{
+		r.Scenario,
+		r.Topo,
+		r.Fault,
+		fmt.Sprintf("%d", r.Issued),
+		fmt.Sprintf("%d", r.Completed),
+		r.Latency.Quantile(0.50).String(),
+		r.Latency.Quantile(0.99).String(),
+		r.Latency.Quantile(0.999).String(),
+		fmt.Sprintf("%.3f", r.GoodputMBps()),
+		fmt.Sprintf("%.4f", r.ErrRate()),
+		fmt.Sprintf("%.4f", r.SLOMinutesLost()),
+		fmt.Sprintf("%d", r.ViolatedWindows()),
+	}
+}
+
+// NewSLOTable renders results as the standard Table, one row per result
+// in the given order.
+func NewSLOTable(name string, rs []SLOResult) *Table {
+	t := &Table{Name: name, Header: sloHeader}
+	for i := range rs {
+		t.Cells = append(t.Cells, rs[i].row())
+	}
+	return t
+}
+
+// NewSLODeltaTable restates fault-tolerance overhead in SLO terms (the
+// Fig. 9 restatement): for every non-baseline result it finds the
+// baseline with the same Scenario and Topo (Fault == baselineFault) and
+// emits the latency/goodput/error deltas the fault cost. Results without
+// a matching baseline are skipped.
+func NewSLODeltaTable(name, baselineFault string, rs []SLOResult) *Table {
+	base := make(map[string]*SLOResult)
+	for i := range rs {
+		if rs[i].Fault == baselineFault {
+			base[rs[i].Scenario+"|"+rs[i].Topo] = &rs[i]
+		}
+	}
+	t := &Table{Name: name, Header: []string{
+		"scenario", "topo", "fault", "dp50", "dp99", "dp999",
+		"goodput_ratio", "derr_rate", "slo_min_lost",
+	}}
+	for i := range rs {
+		r := &rs[i]
+		if r.Fault == baselineFault {
+			continue
+		}
+		b, ok := base[r.Scenario+"|"+r.Topo]
+		if !ok {
+			continue
+		}
+		ratio := 0.0
+		if bg := b.GoodputMBps(); bg > 0 {
+			ratio = r.GoodputMBps() / bg
+		}
+		t.Cells = append(t.Cells, []string{
+			r.Scenario,
+			r.Topo,
+			r.Fault,
+			(r.Latency.Quantile(0.50) - b.Latency.Quantile(0.50)).String(),
+			(r.Latency.Quantile(0.99) - b.Latency.Quantile(0.99)).String(),
+			(r.Latency.Quantile(0.999) - b.Latency.Quantile(0.999)).String(),
+			fmt.Sprintf("%.3f", ratio),
+			fmt.Sprintf("%+.4f", r.ErrRate()-b.ErrRate()),
+			fmt.Sprintf("%.4f", r.SLOMinutesLost()),
+		})
+	}
+	return t
+}

@@ -1,0 +1,135 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sanft/internal/metrics"
+)
+
+// snap builds a latency snapshot from explicit observations.
+func snap(ds ...time.Duration) metrics.HistogramSnapshot {
+	r := metrics.NewRegistry()
+	h := r.Histogram("lat", nil)
+	for _, d := range ds {
+		h.Observe(d)
+	}
+	return h.Snapshot()
+}
+
+func TestSLOWindowJudgment(t *testing.T) {
+	// Exact binary fractions (0.875, 0.125) keep the threshold comparisons
+	// free of float rounding.
+	r := SLOResult{
+		SLO: SLO{Latency: time.Millisecond, GoodFrac: 0.875, MaxErrRate: 0.125,
+			Window: 30 * time.Second},
+		Windows: []SLOWindow{
+			{},                                             // idle: never judged
+			{Issued: 100, Completed: 100},                  // clean
+			{Issued: 100, Completed: 80, Errors: 20},       // error rate 0.2 > 0.125
+			{Issued: 100, Completed: 100, Slow: 20},        // slow frac 0.2 > 0.125
+			{Issued: 50},                                   // blackout: demand, no completions
+			{Issued: 100, Completed: 95, Errors: 5},        // error rate 0.05 ≤ 0.125
+			{Issued: 100, Completed: 100, Slow: 12},        // slow frac 0.12 ≤ 0.125
+			{Issued: 10, Completed: 8, Errors: 2, Slow: 8}, // both clauses broken: one window
+		},
+	}
+	if got := r.ViolatedWindows(); got != 4 {
+		t.Fatalf("ViolatedWindows = %d, want 4", got)
+	}
+	// 4 violated windows × 30s = 2 SLO-minutes lost.
+	if got := r.SLOMinutesLost(); got != 2.0 {
+		t.Fatalf("SLOMinutesLost = %g, want 2", got)
+	}
+}
+
+func TestSLOResultMergeAndRates(t *testing.T) {
+	a := SLOResult{
+		Scenario: "kv/open", Topo: "fattree:16", Fault: "none",
+		Issued: 100, Completed: 98, Errors: 2, PayloadBytes: 98_000,
+		ElapsedNS: int64(time.Second),
+		Latency:   snap(time.Millisecond, 2*time.Millisecond),
+		Windows:   []SLOWindow{{Issued: 100, Completed: 98, Errors: 2}},
+	}
+	b := SLOResult{
+		Issued: 100, Completed: 100, PayloadBytes: 102_000,
+		ElapsedNS: int64(time.Second),
+		Latency:   snap(3 * time.Millisecond),
+		Windows:   []SLOWindow{{Issued: 60, Completed: 60}, {Issued: 40, Completed: 40}},
+	}
+	a.Merge(b)
+	if a.Issued != 200 || a.Completed != 198 || a.Errors != 2 {
+		t.Fatalf("merged counts %+v", a)
+	}
+	if a.Latency.Count != 3 {
+		t.Fatalf("merged latency count = %d, want 3", a.Latency.Count)
+	}
+	if len(a.Windows) != 2 || a.Windows[0].Issued != 160 || a.Windows[1].Issued != 40 {
+		t.Fatalf("merged windows %+v", a.Windows)
+	}
+	if got := a.ErrRate(); got != 0.01 {
+		t.Fatalf("ErrRate = %g, want 0.01", got)
+	}
+	// 200 KB over 1 s = 0.2 MB/s.
+	if got := a.GoodputMBps(); got != 0.2 {
+		t.Fatalf("GoodputMBps = %g, want 0.2", got)
+	}
+}
+
+func TestSLOTables(t *testing.T) {
+	mk := func(fault string, lat time.Duration, errs uint64) SLOResult {
+		return SLOResult{
+			Scenario: "rpc/closed", Topo: "fattree:16", Fault: fault,
+			Issued: 100, Completed: 100 - errs, Errors: errs,
+			PayloadBytes: 100_000, ElapsedNS: int64(time.Second),
+			Latency: snap(lat, lat, lat*3),
+			Windows: []SLOWindow{{Issued: 100, Completed: 100 - errs, Errors: errs}},
+		}
+	}
+	rs := []SLOResult{
+		mk("none", 100*time.Microsecond, 0),
+		mk("linkflap", 400*time.Microsecond, 3),
+	}
+	tab := NewSLOTable("slo", rs)
+	if len(tab.Cells) != 2 {
+		t.Fatalf("SLO table rows = %d, want 2", len(tab.Cells))
+	}
+	for _, col := range []string{"p999", "goodput_mbps", "err_rate", "slo_min_lost"} {
+		found := false
+		for _, h := range tab.Header {
+			if h == col {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("SLO header missing %q: %v", col, tab.Header)
+		}
+	}
+
+	delta := NewSLODeltaTable("delta", "none", rs)
+	if len(delta.Cells) != 1 {
+		t.Fatalf("delta rows = %d, want 1", len(delta.Cells))
+	}
+	row := strings.Join(delta.Cells[0], " ")
+	if !strings.Contains(row, "linkflap") {
+		t.Fatalf("delta row %q should name the fault", row)
+	}
+	// The faulted run erred 3% more than baseline.
+	if got := delta.Cells[0][7]; got != "+0.0300" {
+		t.Fatalf("derr_rate = %q, want +0.0300", got)
+	}
+
+	// Text and JSON render through the shared Table path.
+	var sb strings.Builder
+	if err := Write(&sb, tab, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&sb, tab, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"slo_min_lost"`) || !strings.Contains(out, "rpc/closed") {
+		t.Fatalf("rendered output missing expected fields:\n%s", out)
+	}
+}

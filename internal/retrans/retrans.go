@@ -206,6 +206,14 @@ func (s *Sender) dest(dst topology.NodeID, now sim.Time) *destState {
 func (s *Sender) Prepare(dst topology.NodeID, now sim.Time, freeBuffers int, payload any, size int) *Entry {
 	d := s.dest(dst, now)
 	d.unreachable = false
+	if len(d.queue) == 0 {
+		// Nothing was awaiting acknowledgment, so the time since the last
+		// ack was idleness, not lack of progress. Without this reset, the
+		// first packet after a think-time gap longer than
+		// PermFailThreshold looks instantly stale and triggers a spurious
+		// remap of a healthy path.
+		d.lastProgress = now
+	}
 	e := &Entry{
 		Dst:     dst,
 		Gen:     d.gen,

@@ -288,6 +288,27 @@ func TestStalePathDetection(t *testing.T) {
 	}
 }
 
+// An idle gap is not a failure: the progress clock restarts when the
+// first packet after a drained queue is prepared, so a destination that
+// was silent longer than PermFailThreshold (a closed-loop think pause,
+// say) is not declared stale moments after traffic resumes.
+func TestStalePathIdleGapNotStale(t *testing.T) {
+	s := NewSender(Config{QueueSize: 8, PermFailThreshold: 100 * time.Millisecond})
+	e := s.Prepare(dst, at(0), 8, nil, 100)
+	s.OnTransmitted(e, at(0))
+	s.OnAck(dst, 0, 0, at(10_000)) // queue drains at t=10ms
+	// Traffic resumes after a 490ms idle gap — far past the threshold.
+	e2 := s.Prepare(dst, at(500_000), 8, nil, 100)
+	s.OnTransmitted(e2, at(500_000))
+	if paths := s.StalePaths(at(500_001)); len(paths) != 0 {
+		t.Fatalf("healthy path stale after idle gap: %v", paths)
+	}
+	// The new packet ages on its own clock from the resume point.
+	if paths := s.StalePaths(at(600_000)); len(paths) != 1 || paths[0] != dst {
+		t.Fatalf("stale paths = %v, want [dst]", paths)
+	}
+}
+
 func TestStalePathDetectionDisabled(t *testing.T) {
 	s := NewSender(Config{QueueSize: 8}) // threshold 0 = disabled
 	e := s.Prepare(dst, at(0), 8, nil, 100)

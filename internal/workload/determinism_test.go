@@ -1,0 +1,94 @@
+// Determinism gates for the production traffic tier. External test
+// package: proptest imports workload (for GenWorkloadSpec), so these
+// tests live outside the workload package to keep the import graph a
+// DAG.
+package workload_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"sanft/internal/parsim"
+	"sanft/internal/proptest"
+	"sanft/internal/report"
+	"sanft/internal/workload"
+)
+
+// gridDump runs one grid and renders everything observable — the SLO
+// table JSON (quantiles, goodput, windows via bad_windows) plus every
+// invariant violation — as the byte blob the determinism gates compare.
+func gridDump(t testing.TB, pool parsim.Pool, seed int64, specs []workload.Spec, faults []string, dur time.Duration) []byte {
+	t.Helper()
+	g, err := workload.RunGrid(workload.GridOpts{
+		Topos:  []string{"fattree:4"},
+		Specs:  specs,
+		Faults: faults,
+		Seed:   seed,
+		Reps:   2,
+		Hosts:  6,
+		Dur:    dur,
+		Pool:   pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.Write(&buf, report.NewSLOTable("grid", g.Results), true); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range g.Violations {
+		fmt.Fprintln(&buf, v)
+	}
+	return buf.Bytes()
+}
+
+// Each protocol's full campaign — open-loop traffic through a link-flap
+// schedule, invariants audited — is byte-deterministic from its seed.
+func TestProtocolsDeterministicUnderFlap(t *testing.T) {
+	for _, proto := range []workload.Proto{workload.ProtoRPC, workload.ProtoKV, workload.ProtoStream} {
+		t.Run(proto.String(), func(t *testing.T) {
+			spec := workload.Spec{Proto: proto, Mode: workload.ModeOpen,
+				Clients: 4, Ops: 60, Rate: 20000}
+			proptest.RequireDeterministic(t, 17, func(seed int64) []byte {
+				return gridDump(t, parsim.Pool{Workers: 2}, seed,
+					[]workload.Spec{spec}, []string{"linkflap"}, 400*time.Millisecond)
+			})
+		})
+	}
+}
+
+// Seed-generated workload specs (random protocol, discipline, and
+// sizing) run deterministically too — the property, not just the three
+// hand-picked cases.
+func TestGeneratedSpecsDeterministic(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		seed := int64(100 + 37*i)
+		spec := proptest.GenWorkloadSpec(seed)
+		t.Run(fmt.Sprintf("seed=%d_%s", seed, spec.Scenario()), func(t *testing.T) {
+			proptest.RequireDeterministic(t, seed, func(s int64) []byte {
+				return gridDump(t, parsim.Pool{Workers: 2}, s,
+					[]workload.Spec{spec}, []string{"linkflap"}, time.Second)
+			})
+		})
+	}
+}
+
+// The workers gate: a KV campaign under link flaps produces
+// byte-identical dumps whether the parsim pool runs 1, 2, or 4 OS
+// workers. Replica parallelism must never leak into results.
+func TestGridWorkerCountInvariance(t *testing.T) {
+	specs := []workload.Spec{{Proto: workload.ProtoKV, Mode: workload.ModeOpen,
+		Clients: 4, Ops: 40}}
+	faults := []string{"none", "linkflap"}
+	d1 := gridDump(t, parsim.Pool{Workers: 1}, 9, specs, faults, 400*time.Millisecond)
+	d2 := gridDump(t, parsim.Pool{Workers: 2}, 9, specs, faults, 400*time.Millisecond)
+	d4 := gridDump(t, parsim.Pool{Workers: 4}, 9, specs, faults, 400*time.Millisecond)
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("workers 1 and 2 dumps differ")
+	}
+	if !bytes.Equal(d1, d4) {
+		t.Fatal("workers 1 and 4 dumps differ")
+	}
+}

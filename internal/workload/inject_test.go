@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sanft/internal/chaos"
+	"sanft/internal/report"
+)
+
+// An existing chaos campaign — its topology, fault schedule, and
+// invariant oracle untouched — runs with production-shaped KV traffic
+// injected in place of the synthetic workload, and the user-facing SLO
+// result is extractable afterwards.
+func TestCampaignWithInjectedTraffic(t *testing.T) {
+	camp, ok := chaos.Find("link-flap")
+	if !ok {
+		t.Fatal("link-flap campaign missing")
+	}
+	var d *Driver
+	spec := Spec{
+		Proto: ProtoKV, Mode: ModeOpen,
+		Clients: 4, Ops: 80, Rate: 2000, // ~40ms issue span, inside the flap window
+	}
+	rep := camp.RunWithTraffic(21, nil, Inject(spec, &d))
+	if !rep.Passed() {
+		t.Fatalf("campaign failed under injected traffic:\n%s", rep)
+	}
+	if d == nil {
+		t.Fatal("injector never ran")
+	}
+	// The campaign report's delivery accounting must be the injected
+	// traffic's, not the synthetic default's fixed pair × msg grid.
+	if rep.Expected == 0 || rep.Expected != rep.Delivered {
+		t.Fatalf("expected %d delivered %d", rep.Expected, rep.Delivered)
+	}
+	if rep.Duplicates != 0 {
+		t.Fatalf("%d duplicate notifications", rep.Duplicates)
+	}
+	res := d.Result("chain", "link-flap", 20*time.Second)
+	if res.Issued != 80 || res.Completed+res.Errors != 80 {
+		t.Fatalf("issued=%d completed=%d errors=%d", res.Issued, res.Completed, res.Errors)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no completions through the flap schedule")
+	}
+}
+
+// The same injected campaign is byte-deterministic: identical seeds give
+// identical event logs and SLO rows.
+func TestInjectedCampaignDeterministic(t *testing.T) {
+	dump := func() (string, string) {
+		camp, _ := chaos.Find("link-flap")
+		var d *Driver
+		rep := camp.RunWithTraffic(33, nil, Inject(Spec{
+			Proto: ProtoKV, Mode: ModeOpen, Clients: 4, Ops: 40, Rate: 2000,
+		}, &d))
+		res := d.Result("chain", "link-flap", 20*time.Second)
+		tb := report.NewSLOTable("inject", []report.SLOResult{res})
+		return rep.EventLog, strings.Join(tb.Cells[0], "|")
+	}
+	log1, row1 := dump()
+	log2, row2 := dump()
+	if log1 != log2 {
+		t.Fatal("event logs differ across identical seeds")
+	}
+	if row1 != row2 {
+		t.Fatalf("SLO rows differ:\n%s\n%s", row1, row2)
+	}
+}

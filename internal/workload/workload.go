@@ -1,0 +1,250 @@
+// Package workload is the production traffic tier: deterministic load
+// generators layered on VMMC that restate the platform's fault tolerance
+// in user-visible terms — request latency quantiles, goodput, error
+// rates, and SLO-minutes lost — instead of protocol counters.
+//
+// Two generator disciplines drive three application protocols:
+//
+//   - Open loop: a seeded Poisson arrival process at a target offered
+//     load. Arrival times are laid out on a virtual clock independent of
+//     completions, and an operation's latency is measured from its
+//     scheduled arrival — including any time spent queueing for an
+//     admission slot — so the generator is backpressure-aware without
+//     coordinated omission: a stalled server inflates the measured
+//     latencies of the requests that piled up behind the stall, exactly
+//     as real users would have experienced it.
+//   - Closed loop: N simulated clients, each issuing up to Pipeline
+//     requests, thinking (exponentially, seeded) between issues. Latency
+//     is measured from issue, the classic interactive-client model.
+//
+// The protocols, all built on VMMC deposits with completion
+// notifications:
+//
+//   - RPC: request to a server, reply to the client.
+//   - KV: get (request/reply) and put with primary-backup replication —
+//     the put travels client → primary → backup → ack → reply, so a
+//     fault on any of the three legs surfaces in the client's latency.
+//   - Stream: a DHT-style chunked transfer — one request, Chunks
+//     separate messages back, completion when the last chunk lands.
+//
+// Every operation lives in a per-client slot: requests, replies, acks,
+// and chunks deposit into disjoint slot regions of pre-sized exports, so
+// concurrent operations never overwrite each other while in flight, and
+// all bookkeeping walks fixed arrays (never Go maps), keeping runs
+// byte-deterministic. Send-side and delivery accounting feed the chaos
+// engine's external-run oracle, so the same invariant checker that
+// audits synthetic campaigns audits production-shaped traffic.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"time"
+
+	"sanft/internal/report"
+)
+
+// Proto selects the application protocol a generator drives.
+type Proto uint8
+
+const (
+	// ProtoRPC is request/response against a single server.
+	ProtoRPC Proto = iota
+	// ProtoKV is get/put with primary-backup replication for puts.
+	ProtoKV
+	// ProtoStream is a chunked transfer: one request, many chunk
+	// messages back.
+	ProtoStream
+)
+
+var protoNames = [...]string{"rpc", "kv", "stream"}
+
+func (p Proto) String() string {
+	if int(p) < len(protoNames) {
+		return protoNames[p]
+	}
+	return fmt.Sprintf("proto(%d)", uint8(p))
+}
+
+// ParseProto resolves a CLI protocol name.
+func ParseProto(s string) (Proto, error) {
+	for i, n := range protoNames {
+		if strings.EqualFold(s, n) {
+			return Proto(i), nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown protocol %q (want rpc, kv, or stream)", s)
+}
+
+// Mode selects the generator discipline.
+type Mode uint8
+
+const (
+	// ModeOpen offers load at a target rate regardless of completions.
+	ModeOpen Mode = iota
+	// ModeClosed issues from N clients with think time and pipelining.
+	ModeClosed
+)
+
+var modeNames = [...]string{"open", "closed"}
+
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// ParseMode resolves a CLI mode name.
+func ParseMode(s string) (Mode, error) {
+	for i, n := range modeNames {
+		if strings.EqualFold(s, n) {
+			return Mode(i), nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown mode %q (want open or closed)", s)
+}
+
+// slotsPerClient bounds each logical client's in-flight operations; it is
+// also the slot-region count provisioned per client in every export.
+const slotsPerClient = 16
+
+// Spec describes one workload: the protocol, the generator discipline,
+// and the sizing knobs. The zero value of any field takes the default
+// noted on it; Seed fixes every random choice (arrival gaps, think
+// times, get/put mix).
+type Spec struct {
+	Proto Proto
+	Mode  Mode
+	Seed  int64
+
+	// Clients is the number of logical clients (default 8). Clients are
+	// assigned round-robin to the client hosts.
+	Clients int
+	// Ops is the total operation count across all clients (default 400).
+	Ops int
+	// Rate is the open-loop aggregate offered load in ops/second
+	// (default 20000).
+	Rate float64
+	// Think is the closed-loop mean think time per client, drawn
+	// exponentially (default 2ms). Zero-capable via ThinkNone.
+	Think time.Duration
+	// Pipeline is the closed-loop per-client outstanding-request window
+	// (default 1, clamped to the slot count).
+	Pipeline int
+
+	// ValBytes sizes RPC requests/replies and KV values (default 256,
+	// min 32 — headers ride inside the payload).
+	ValBytes int
+	// Chunks is the stream transfer length in messages (default 4).
+	Chunks int
+	// ChunkBytes sizes each stream chunk (default ValBytes).
+	ChunkBytes int
+	// GetFrac is the KV read fraction (default 0.5).
+	GetFrac float64
+
+	// Timeout is the operation deadline, measured from the scheduled
+	// arrival (default 250ms). A timed-out operation is an SLO error.
+	Timeout time.Duration
+
+	// SLO is the contract the run is judged against (zero fields take
+	// report.DefaultSLO).
+	SLO report.SLO
+}
+
+// withDefaults fills zero fields.
+func (s Spec) withDefaults() Spec {
+	if s.Clients == 0 {
+		s.Clients = 8
+	}
+	if s.Ops == 0 {
+		s.Ops = 400
+	}
+	if s.Rate == 0 {
+		s.Rate = 20000
+	}
+	if s.Think == 0 {
+		s.Think = 2 * time.Millisecond
+	}
+	if s.Pipeline == 0 {
+		s.Pipeline = 1
+	}
+	if s.Pipeline > slotsPerClient {
+		s.Pipeline = slotsPerClient
+	}
+	if s.ValBytes < 32 {
+		if s.ValBytes == 0 {
+			s.ValBytes = 256
+		} else {
+			s.ValBytes = 32
+		}
+	}
+	if s.Chunks == 0 {
+		s.Chunks = 4
+	}
+	if s.ChunkBytes < 32 {
+		if s.ChunkBytes == 0 {
+			s.ChunkBytes = s.ValBytes
+		} else {
+			s.ChunkBytes = 32
+		}
+	}
+	if s.GetFrac == 0 {
+		s.GetFrac = 0.5
+	}
+	if s.Timeout == 0 {
+		s.Timeout = 250 * time.Millisecond
+	}
+	return s
+}
+
+// Scenario labels the spec for SLO rows: "kv/open" and friends.
+func (s Spec) Scenario() string { return s.Proto.String() + "/" + s.Mode.String() }
+
+// Message kinds, carried in the header every deposit starts with.
+const (
+	kindReqRPC byte = iota + 1
+	kindReqGet
+	kindReqPut
+	kindReqStream
+	kindRepl  // primary → backup replication of a put
+	kindAck   // backup → primary replication ack
+	kindReply // server → client completion
+	kindChunk // server → client stream chunk
+)
+
+// headerLen is the wire header: opID (8) + kind (1) + aux (8), padded to
+// a fixed prefix inside every message payload.
+const headerLen = 24
+
+// encodeMsg builds a message of the given total size whose first bytes
+// carry the header. size is clamped up to headerLen.
+func encodeMsg(opID uint64, kind byte, aux uint64, size int) []byte {
+	if size < headerLen {
+		size = headerLen
+	}
+	b := make([]byte, size)
+	binary.LittleEndian.PutUint64(b[0:8], opID)
+	b[8] = kind
+	binary.LittleEndian.PutUint64(b[9:17], aux)
+	return b
+}
+
+// decodeMsg reads the header back from a deposited message.
+func decodeMsg(b []byte) (opID uint64, kind byte, aux uint64) {
+	if len(b) < headerLen {
+		return 0, 0, 0
+	}
+	return binary.LittleEndian.Uint64(b[0:8]), b[8], binary.LittleEndian.Uint64(b[9:17])
+}
+
+// opID packs (client index, sequence number); both sides derive routing
+// and slot placement from it alone.
+func makeOpID(clientIdx int, seq uint32) uint64 {
+	return uint64(clientIdx+1)<<32 | uint64(seq)
+}
+
+func opClient(opID uint64) int { return int(opID>>32) - 1 }
+func opSeq(opID uint64) uint32 { return uint32(opID) }
+func opSlot(opID uint64) int   { return int(opSeq(opID)) % slotsPerClient }

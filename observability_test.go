@@ -60,13 +60,13 @@ func workloadDump(t *testing.T, seed int64) []byte {
 	return b.Bytes()
 }
 
-// campaignDump runs the link-flap chaos campaign with sampling attached
+// campaignDump runs a named chaos campaign with sampling attached
 // through the instrumentation hook and returns the JSONL metrics dump.
-func campaignDump(t *testing.T, seed int64) []byte {
+func campaignDump(t *testing.T, seed int64, name string) []byte {
 	t.Helper()
-	camp, ok := chaos.Find("link-flap")
+	camp, ok := chaos.Find(name)
 	if !ok {
-		t.Fatal("link-flap campaign missing")
+		t.Fatalf("%s campaign missing", name)
 	}
 	var clu *core.Cluster
 	var obs *sanft.Observer
@@ -89,14 +89,17 @@ func campaignDump(t *testing.T, seed int64) []byte {
 // reports the first diverging line instead of just "they differ".
 func TestMetricsDumpDeterministic(t *testing.T) {
 	proptest.RequireDeterministic(t, 42, func(seed int64) []byte { return workloadDump(t, seed) })
-	proptest.RequireDeterministic(t, 42, func(seed int64) []byte { return campaignDump(t, seed) })
+	proptest.RequireDeterministic(t, 42, func(seed int64) []byte { return campaignDump(t, seed, "link-flap") })
 }
 
 // TestMetricsDumpCoverage asserts the dump spans every instrumented
 // layer: NIC DMA busy time, link utilization, retransmission activity,
-// and remap latency histograms.
+// and remap latency histograms. The link-kill campaign is the probe:
+// a permanent trunk death is the one fault class guaranteed to cross
+// the detection threshold and exercise the remap path (transient flaps
+// ride out on retransmission and never map).
 func TestMetricsDumpCoverage(t *testing.T) {
-	dump := string(campaignDump(t, 1))
+	dump := string(campaignDump(t, 1, "link-kill"))
 	for _, want := range []string{
 		"nic.pci.busy_ns",         // DMA engine busy time
 		"nic.cpu.busy_ns",         // firmware processor busy time
